@@ -1,0 +1,59 @@
+"""Benchmarks for the extension features beyond the paper's core tables.
+
+Covers the §3.1(c) incremental refinement path, the §3.1 optional edge
+re-scaling, and the vectorless power-grid verifier (ref. [23]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import VectorlessVerifier
+from repro.graphs import generators
+from repro.sparsify import (
+    refine_sparsifier,
+    rescale_for_similarity,
+    sparsify_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def coarse(scale):
+    side = max(24, int(48 * scale))
+    graph = generators.circuit_grid(side, side, layers=2, seed=13)
+    return graph, sparsify_graph(graph, sigma2=400.0, seed=0)
+
+
+def test_kernel_incremental_refine(benchmark, coarse):
+    graph, result = coarse
+    fine = benchmark.pedantic(
+        lambda: refine_sparsifier(result, sigma2=50.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert fine.converged
+    assert np.all(fine.edge_mask[result.edge_mask])
+
+
+def test_kernel_global_rescaling(benchmark, coarse):
+    graph, result = coarse
+    rescaled = benchmark(
+        lambda: rescale_for_similarity(graph, result.sparsifier, seed=0)
+    )
+    assert rescaled.scale > 0
+    assert rescaled.sigma == pytest.approx(
+        np.sqrt(rescaled.condition_number)
+    )
+
+
+def test_kernel_vectorless_verification(benchmark, scale):
+    side = max(20, int(36 * scale))
+    grid = generators.circuit_grid(side, side, layers=2, seed=14)
+    pads = {0: 200.0, grid.n - 1: 200.0}
+    verifier = VectorlessVerifier(grid, pads, mode="pcg", sigma2=50.0, seed=0)
+    observed = np.linspace(1, grid.n - 2, 6, dtype=np.int64)
+    result = benchmark.pedantic(
+        lambda: verifier.verify(observed, i_max=0.05, total_budget=1.0),
+        rounds=1, iterations=1,
+    )
+    assert result.worst_drop > 0

@@ -1,0 +1,45 @@
+"""Benchmark + regeneration of Figure 1 (spectral drawings).
+
+Regenerates the airfoil drawing comparison (original vs sparsifier) with
+quantitative alignment metrics, and micro-benchmarks the spectral
+coordinate computation the figure depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure1
+from repro.graphs import generators
+from repro.spectral import spectral_coordinates
+from repro.utils.tables import format_table
+
+
+def test_figure1_regeneration(benchmark, capsys, scale):
+    output = benchmark.pedantic(
+        lambda: figure1.run(scale=min(scale, 0.7), seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(figure1.HEADERS, [output["row"]],
+                           title="Figure 1: spectral drawing alignment"))
+    # The sparsifier's drawing must align with the original's: small
+    # Procrustes error and small principal angles.
+    err = float(output["row"][5])
+    angle = float(output["row"][6])
+    assert err < 0.8
+    assert angle < 45.0
+    assert output["result"].sparsifier.num_edges < output["result"].graph.num_edges
+
+
+@pytest.fixture(scope="module")
+def airfoil(scale):
+    return generators.airfoil_mesh(max(600, int(2500 * scale)), seed=16)
+
+
+def test_kernel_spectral_coordinates(benchmark, airfoil):
+    coords = benchmark.pedantic(
+        lambda: spectral_coordinates(airfoil, dim=2, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert coords.shape == (airfoil.n, 2)

@@ -1,0 +1,54 @@
+"""Benchmark + regeneration of Figure 2 (edge ranking and filtering).
+
+Regenerates the sorted normalized Joule-heat series with the θ_σ
+thresholds for σ² = 100 and σ² = 500, and micro-benchmarks the heat
+embedding kernel (t-step generalized power iterations + per-edge heats).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure2
+from repro.graphs import generators
+from repro.sparsify import joule_heats
+from repro.trees import RootedTree, TreeSolver, low_stretch_tree
+from repro.utils.tables import format_table
+
+
+def test_figure2_regeneration(benchmark, capsys, scale):
+    output = benchmark.pedantic(
+        lambda: figure2.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(figure2.HEADERS, output["rows"],
+                           title="Figure 2: spectral edge ranking and filtering"))
+    for data in output["series"].values():
+        norm = data["sorted_normalized_heats"]
+        # The paper's observation: a sharp knee at the top of the
+        # distribution — "not too many large generalized eigenvalues".
+        knee = norm[max(1, norm.size // 100) - 1] / max(np.median(norm), 1e-300)
+        assert knee > 10.0
+        assert data["thresholds"][500.0] > data["thresholds"][100.0]
+
+
+@pytest.fixture(scope="module")
+def embedding_setup(scale):
+    side = max(30, int(70 * scale))
+    graph = generators.circuit_grid(side, side, layers=2, seed=26)
+    tree_idx = low_stretch_tree(graph, seed=0)
+    solver = TreeSolver(RootedTree.from_graph(graph, tree_idx))
+    mask = np.zeros(graph.num_edges, dtype=bool)
+    mask[tree_idx] = True
+    off = np.flatnonzero(~mask)
+    return graph, solver, off
+
+
+def test_kernel_joule_heat_embedding(benchmark, embedding_setup):
+    graph, solver, off = embedding_setup
+    heats = benchmark(
+        lambda: joule_heats(graph, solver, off, t=2, seed=0)
+    )
+    assert heats.shape == (off.size,)

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the pipeline's computational kernels.
+
+Not tied to a specific paper table; these isolate the cost centres the
+paper's complexity analysis talks about: LSST extraction, stretch
+computation, tree solves, AMG cycles, and the full sparsification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.solvers import AMGSolver, DirectSolver
+from repro.sparsify import sparsify_graph
+from repro.trees import (
+    RootedTree,
+    TreeSolver,
+    akpw,
+    edge_stretches,
+    low_stretch_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def big_grid(scale):
+    side = max(60, int(150 * scale))
+    return generators.grid2d(side, side, weights="uniform", seed=99)
+
+
+def test_kernel_akpw_tree(benchmark, big_grid):
+    idx = benchmark.pedantic(lambda: akpw(big_grid, seed=0), rounds=2, iterations=1)
+    assert idx.size == big_grid.n - 1
+
+
+def test_kernel_stretch_computation(benchmark, big_grid):
+    idx = low_stretch_tree(big_grid, seed=0)
+    report = benchmark(lambda: edge_stretches(big_grid, idx))
+    assert report.total > 0
+
+
+def test_kernel_tree_solve(benchmark, big_grid):
+    idx = low_stretch_tree(big_grid, seed=0)
+    solver = TreeSolver(RootedTree.from_graph(big_grid, idx))
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(big_grid.n)
+    b -= b.mean()
+    x = benchmark(lambda: solver.solve(b))
+    assert x.shape == b.shape
+
+
+def test_kernel_direct_factorization(benchmark, big_grid):
+    solver = benchmark.pedantic(
+        lambda: DirectSolver(big_grid.laplacian().tocsc()), rounds=2, iterations=1
+    )
+    assert solver.factor_nnz > 0
+
+
+def test_kernel_amg_vcycle(benchmark, big_grid):
+    amg = AMGSolver(big_grid.laplacian())
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(big_grid.n)
+    b -= b.mean()
+    x = benchmark(lambda: amg.solve(b))
+    assert x.shape == b.shape
+
+
+def test_kernel_full_sparsification(benchmark, big_grid):
+    result = benchmark.pedantic(
+        lambda: sparsify_graph(big_grid, sigma2=100.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert result.sparsifier.num_edges < big_grid.num_edges

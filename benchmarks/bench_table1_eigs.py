@@ -1,0 +1,74 @@
+"""Benchmark + regeneration of Table 1 (extreme eigenvalue estimation).
+
+Regenerates the paper's Table 1 rows (exact vs estimated λmin/λmax with
+relative errors) and micro-benchmarks the two estimators against the
+dense reference eigensolver they replace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+from repro.graphs import generators
+from repro.solvers import DirectSolver
+from repro.sparsify import sparsify_graph
+from repro.spectral import (
+    estimate_lambda_max,
+    estimate_lambda_min,
+    exact_extreme_generalized_eigs,
+)
+from repro.utils.tables import format_table
+
+
+def test_table1_regeneration(benchmark, capsys, scale):
+    rows = benchmark.pedantic(
+        lambda: table1.run(scale=min(scale, 0.8), seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(table1.HEADERS, rows,
+                           title="Table 1: extreme eigenvalue estimation"))
+    assert len(rows) == 5
+    for row in rows:
+        lmin_exact, lmin_est = float(row[2]), float(row[3])
+        lmax_exact, lmax_est = float(row[5]), float(row[6])
+        assert lmin_est >= lmin_exact - 1e-9      # Eq. 18 upper-bounds λmin
+        assert lmax_est <= lmax_exact * 1.001     # power iteration from below
+        assert abs(lmax_est - lmax_exact) / lmax_exact < 0.25
+
+
+@pytest.fixture(scope="module")
+def pencil():
+    graph = generators.fem_mesh_3d(1200, seed=11, shape="annulus")
+    sparsifier = sparsify_graph(graph, sigma2=100.0, seed=0).sparsifier
+    solver = DirectSolver(sparsifier.laplacian().tocsc())
+    return graph, sparsifier, solver
+
+
+def test_kernel_lambda_max_power_iteration(benchmark, pencil):
+    graph, sparsifier, solver = pencil
+    value = benchmark(
+        lambda: estimate_lambda_max(graph, sparsifier, solver,
+                                    iterations=8, seed=0)
+    )
+    assert value > 1.0
+
+
+def test_kernel_lambda_min_node_coloring(benchmark, pencil):
+    graph, sparsifier, _ = pencil
+    value = benchmark(lambda: estimate_lambda_min(graph, sparsifier))
+    assert value >= 1.0
+
+
+def test_kernel_dense_reference(benchmark, pencil):
+    """The exact solver the estimators replace — orders slower."""
+    graph, sparsifier, _ = pencil
+    lmin, lmax = benchmark.pedantic(
+        lambda: exact_extreme_generalized_eigs(
+            graph.laplacian(), sparsifier.laplacian()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert lmax > lmin > 0

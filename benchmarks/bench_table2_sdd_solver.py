@@ -1,0 +1,49 @@
+"""Benchmark + regeneration of Table 2 (iterative SDD solver).
+
+Regenerates the σ²=50 vs σ²=200 preconditioner trade-off rows and
+micro-benchmarks one PCG solve per similarity level on the
+G3-circuit-style workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import SimilarityAwareSolver
+from repro.experiments import table2
+from repro.graphs import generators
+from repro.utils.tables import format_table
+
+
+def test_table2_regeneration(benchmark, capsys, scale):
+    rows = benchmark.pedantic(
+        lambda: table2.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(table2.HEADERS, rows,
+                           title="Table 2: iterative SDD matrix solver"))
+    assert len(rows) == 5
+    for row in rows:
+        n50, n200 = int(row[5]), int(row[8])
+        d50, d200 = float(row[4]), float(row[7])
+        assert n50 <= n200          # better similarity, fewer iterations
+        assert d50 >= 0.98 * d200   # at the cost of a denser preconditioner
+
+
+@pytest.fixture(scope="module", params=[50.0, 200.0], ids=["sigma2=50", "sigma2=200"])
+def solver_and_rhs(request, scale):
+    side = max(32, int(90 * scale))
+    graph = generators.circuit_grid(side, side, layers=2, seed=21)
+    solver = SimilarityAwareSolver(graph, sigma2=request.param, seed=0)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(graph.n)
+    b -= b.mean()
+    return solver, b
+
+
+def test_kernel_pcg_solve(benchmark, solver_and_rhs):
+    solver, b = solver_and_rhs
+    report = benchmark(lambda: solver.solve(b, tol=1e-3))
+    assert report.solve.converged

@@ -1,0 +1,56 @@
+"""Benchmark + regeneration of Table 3 (spectral graph partitioning).
+
+Regenerates the direct-vs-iterative Fiedler solver comparison (time,
+memory, partition agreement) and micro-benchmarks both solver modes on
+one mesh workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import partition_graph
+from repro.experiments import table3
+from repro.graphs import generators
+from repro.utils.tables import format_table
+
+
+def test_table3_regeneration(benchmark, capsys, scale):
+    rows = benchmark.pedantic(
+        lambda: table3.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(table3.HEADERS, rows,
+                           title="Table 3: spectral graph partitioning"))
+    assert len(rows) == 8
+    for row in rows:
+        balance = float(row[3])
+        memory_direct = float(row[5])
+        memory_iterative = float(row[7])
+        rel_err = float(row[8])
+        assert 0.5 <= balance <= 2.0
+        assert memory_iterative < memory_direct   # the paper's M_I << M_D
+        assert rel_err <= 0.1
+
+
+@pytest.fixture(scope="module")
+def mesh(scale):
+    side = max(48, int(120 * scale))
+    return generators.grid2d(side, side, weights="uniform", seed=36)
+
+
+def test_kernel_partition_direct(benchmark, mesh):
+    report = benchmark.pedantic(
+        lambda: partition_graph(mesh, method="direct", seed=0),
+        rounds=1, iterations=1,
+    )
+    assert 0.5 <= report.balance <= 2.0
+
+
+def test_kernel_partition_sparsifier(benchmark, mesh):
+    report = benchmark.pedantic(
+        lambda: partition_graph(mesh, method="sparsifier", sigma2=200.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert 0.5 <= report.balance <= 2.0

@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper (shape
+comparison, not absolute times — see EXPERIMENTS.md) and micro-benchmark
+the pipeline kernels.  ``REPRO_SCALE`` scales workload sizes; the
+default here is tuned for a single CPU core.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float = 0.6) -> float:
+    """Benchmark problem-size multiplier (REPRO_SCALE, default 0.6)."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    return float(raw)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

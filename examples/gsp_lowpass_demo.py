@@ -1,0 +1,82 @@
+"""Scenario: spectral sparsification as a low-pass graph filter (§3.4).
+
+The paper frames sparsifiers in graph-signal-processing terms: a
+σ-similar sparsifier preserves slowly varying ("low-frequency") signals
+and discards fine-grained detail, like a low-pass filter.  This demo
+measures that directly: smooth, band, and high-frequency signals are
+synthesized in the graph Fourier basis, and their Laplacian quadratic
+forms (Dirichlet energies) are compared between the graph and its
+sparsifier.
+
+Run:  python examples/gsp_lowpass_demo.py
+"""
+
+import numpy as np
+
+from repro.graphs import generators
+from repro.sparsify import sparsify_graph
+from repro.spectral import GraphFourier, chebyshev_filter, heat_kernel
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    pts = generators.gaussian_mixture_points(
+        900, dim=3, clusters=3, separation=7.0, seed=4
+    )
+    graph = generators.knn_graph(pts, k=12)
+    result = sparsify_graph(graph, sigma2=100.0, seed=0)
+    sparsifier = result.sparsifier
+    print(f"graph {graph.num_edges} edges -> sparsifier "
+          f"{sparsifier.num_edges} edges "
+          f"({graph.num_edges / sparsifier.num_edges:.1f}x)")
+
+    fourier_g = GraphFourier(graph)
+    fourier_p = GraphFourier(sparsifier)
+    n = graph.n
+
+    # Synthesize signals concentrated in three frequency bands of G.
+    rng = np.random.default_rng(0)
+    bands = {
+        "low (modes 1-10)": slice(1, 11),
+        "mid (middle 10)": slice(n // 2 - 5, n // 2 + 5),
+        "high (top 10)": slice(n - 10, n),
+    }
+    rows = []
+    for name, band in bands.items():
+        coeff = np.zeros(n)
+        coeff[band] = rng.standard_normal(band.stop - band.start)
+        signal = fourier_g.inverse(coeff)
+        signal /= np.linalg.norm(signal)
+        energy_g = float(signal @ (graph.laplacian() @ signal))
+        energy_p = float(signal @ (sparsifier.laplacian() @ signal))
+        rows.append([name, f"{energy_g:.4f}", f"{energy_p:.4f}",
+                     f"{energy_p / energy_g:.3f}"])
+    print()
+    print(format_table(
+        ["signal band", "energy on G", "energy on P", "ratio"],
+        rows,
+        title="Dirichlet energy of band-limited signals (low-pass behaviour)",
+    ))
+    print("\nreading: a subgraph sparsifier attenuates all energies, but "
+          "the attenuation grows with frequency — low-frequency structure "
+          "is preserved best, exactly a low-pass filter (paper §3.4).")
+
+    # The load-bearing low-frequency object — the Fiedler vector — is
+    # preserved almost exactly despite the edge reduction.
+    fiedler_cos = abs(float(fourier_g.modes[:, 1] @ fourier_p.modes[:, 1]))
+    top_cos = abs(float(fourier_g.modes[:, -1] @ fourier_p.modes[:, -1]))
+    print(f"Fiedler-vector alignment |cos|: {fiedler_cos:.6f} "
+          f"(highest-frequency mode: {top_cos:.3f})")
+
+    # Bonus: the scalable Chebyshev filter (no eigensolve) matches the
+    # exact spectral filter on the same graph.
+    signal = rng.standard_normal(n)
+    exact = fourier_g.filter(signal, heat_kernel(1.0))
+    approx = chebyshev_filter(graph, signal, heat_kernel(1.0), order=30)
+    rel = np.linalg.norm(exact - approx) / np.linalg.norm(exact)
+    print(f"\nheat-kernel smoothing via Chebyshev polynomials (no "
+          f"eigensolve): relative deviation {rel:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Scenario: solving a VLSI power-grid system for many right-hand sides.
+
+The paper's Section 4.2 use case — a preconditioned conjugate gradient
+solver whose preconditioner is a similarity-aware spectral sparsifier.
+We sweep the σ² knob to expose the trade-off the paper's Table 2
+reports: tighter similarity = denser preconditioner = fewer PCG
+iterations, and the sweet spot depends on how many right-hand sides are
+amortizing the setup cost.
+
+Run:  python examples/sdd_solver_circuit.py
+"""
+
+import numpy as np
+
+from repro.apps import SimilarityAwareSolver
+from repro.graphs import generators
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # An on-chip power delivery network: two metal layers + vias, with a
+    # grounded pad modeled by diagonal slack at one corner.
+    import scipy.sparse as sp
+
+    graph = generators.circuit_grid(60, 60, layers=2, seed=3)
+    slack = np.zeros(graph.n)
+    slack[0] = 10.0  # the pad connection makes the system non-singular
+    system = (graph.laplacian() + sp.diags(slack)).tocsr()
+    print(f"power grid: {graph.n} nodes, {graph.num_edges} resistors")
+
+    rng = np.random.default_rng(0)
+    num_rhs = 8
+    currents = rng.standard_normal((graph.n, num_rhs))  # current sources
+
+    rows = []
+    for sigma2 in (25.0, 50.0, 200.0, 800.0):
+        solver = SimilarityAwareSolver(system, sigma2=sigma2, seed=0)
+        total_iterations = 0
+        total_solve_seconds = 0.0
+        for j in range(num_rhs):
+            report = solver.solve(currents[:, j], tol=1e-3)
+            assert report.solve.converged
+            total_iterations += report.iterations
+            total_solve_seconds += report.solve_seconds
+        rows.append(
+            [
+                f"{sigma2:.0f}",
+                f"{solver.density:.3f}",
+                f"{total_iterations / num_rhs:.1f}",
+                f"{solver.sparsify_seconds:.2f}",
+                f"{total_solve_seconds:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["sigma^2", "|E_P|/|V|", "PCG iters/RHS", "sparsify (s)",
+             f"solve {num_rhs} RHS (s)"],
+            rows,
+            title="Preconditioner quality vs cost (Table 2 trade-off)",
+        )
+    )
+    print("\nreading: smaller sigma^2 -> denser preconditioner -> fewer "
+          "iterations per solve; with many RHS vectors the denser "
+          "preconditioner amortizes its setup cost.")
+
+
+if __name__ == "__main__":
+    main()

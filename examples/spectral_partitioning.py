@@ -1,0 +1,54 @@
+"""Scenario: partitioning a finite-element mesh (paper Section 4.3).
+
+Compares the direct-factorization spectral partitioner against the
+sparsifier-accelerated one on an FEM mesh: same sign-cut quality, a
+fraction of the memory — the paper's Table 3 story.
+
+Run:  python examples/spectral_partitioning.py
+"""
+
+from repro.apps import partition_graph
+from repro.graphs import generators
+from repro.spectral import conductance, partition_disagreement
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    mesh = generators.fem_mesh_2d(6000, seed=5)
+    print(f"FEM mesh: {mesh.n} vertices, {mesh.num_edges} edges")
+
+    direct = partition_graph(mesh, method="direct", seed=0)
+    iterative = partition_graph(mesh, method="sparsifier", sigma2=200.0, seed=0)
+
+    rows = [
+        [
+            "direct (CHOLMOD-style)",
+            f"{direct.balance:.3f}",
+            f"{conductance(mesh, direct.labels):.4f}",
+            f"{direct.solve_seconds:.3f}",
+            f"{direct.memory_bytes / 1e6:.2f}",
+        ],
+        [
+            "sparsifier-PCG (this paper)",
+            f"{iterative.balance:.3f}",
+            f"{conductance(mesh, iterative.labels):.4f}",
+            f"{iterative.solve_seconds:.3f}",
+            f"{iterative.memory_bytes / 1e6:.2f}",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["solver", "|V+|/|V-|", "conductance", "time (s)", "memory (MB)"],
+            rows,
+            title="Fiedler-vector partitioning (Table 3 comparison)",
+        )
+    )
+    rel_err = partition_disagreement(direct.labels, iterative.labels)
+    print(f"\npartition disagreement (Rel.Err): {rel_err:.2e}")
+    print("reading: the sparsifier-preconditioned solver reproduces the "
+          "direct solver's cut with a much smaller memory footprint.")
+
+
+if __name__ == "__main__":
+    main()

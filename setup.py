@@ -1,0 +1,7 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (offline PEP-660 fallback). Configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — Similarity-aware spectral graph sparsification by edge filtering.
+
+A self-contained reproduction of Z. Feng, *"Similarity-Aware Spectral
+Sparsification by Edge Filtering"*, DAC 2018.  The package provides:
+
+- :class:`repro.Graph` — the weighted undirected graph container;
+- :func:`repro.sparsify_graph` — the headline algorithm: compute a
+  spectral sparsifier with a *guaranteed* similarity level σ²;
+- spanning-tree, solver, eigenvalue and graph-signal-processing
+  substrates under :mod:`repro.trees`, :mod:`repro.solvers`,
+  :mod:`repro.spectral`;
+- the paper's three applications under :mod:`repro.apps` (SDD solver,
+  spectral partitioner, complex-network simplification);
+- experiment regenerators for every table/figure under
+  :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro import generators, sparsify_graph
+>>> g = generators.grid2d(64, 64, seed=0)
+>>> result = sparsify_graph(g, sigma2=100.0, seed=0)
+>>> result.sparsifier.num_edges < g.num_edges
+True
+"""
+
+from repro.graphs import Graph
+from repro.graphs import generators
+
+__version__ = "1.0.0"
+
+# The heavy algorithm modules are imported lazily so that lightweight
+# uses (e.g. just building graphs) do not pay for solver imports.
+_LAZY_EXPORTS = {
+    "SimilarityAwareSparsifier": "repro.sparsify",
+    "SparsifyResult": "repro.sparsify",
+    "sparsify_graph": "repro.sparsify",
+}
+
+__all__ = [
+    "Graph",
+    "generators",
+    "SimilarityAwareSparsifier",
+    "SparsifyResult",
+    "sparsify_graph",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

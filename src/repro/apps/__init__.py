@@ -1,0 +1,22 @@
+"""The paper's applications: SDD solver, spectral partitioner, network simplifier."""
+
+from repro.apps.sdd_solver import SDDSolveReport, SimilarityAwareSolver
+from repro.apps.partitioner import PartitionReport, partition_graph
+from repro.apps.network_simplify import NetworkSimplifyReport, simplify_network
+from repro.apps.power_grid import (
+    VectorlessResult,
+    VectorlessVerifier,
+    worst_case_drop,
+)
+
+__all__ = [
+    "SDDSolveReport",
+    "SimilarityAwareSolver",
+    "PartitionReport",
+    "partition_graph",
+    "NetworkSimplifyReport",
+    "simplify_network",
+    "VectorlessResult",
+    "VectorlessVerifier",
+    "worst_case_drop",
+]

@@ -1,0 +1,22 @@
+"""Experiment regenerators: one module per paper table/figure + ablations.
+
+Run any of them as a script, e.g.::
+
+    python -m repro.experiments.table2
+
+Problem sizes scale with the ``REPRO_SCALE`` environment variable.
+Submodules (``table1`` … ``table4``, ``figure1``, ``figure2``,
+``ablations``) are intentionally not imported here so ``python -m``
+execution stays warning-free; import them explicitly.
+"""
+
+__all__ = [
+    "common",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "ablations",
+]

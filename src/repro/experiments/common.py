@@ -1,0 +1,84 @@
+"""Shared experiment infrastructure: scaling, cases, CSV export.
+
+Every experiment module exposes ``run(scale=None, seed=...) -> rows`` and
+a ``main()`` that prints the paper-style table.  Problem sizes are the
+paper's topology families scaled down for a single-core pure-Python
+environment; the ``REPRO_SCALE`` environment variable (default 1.0)
+multiplies all vertex budgets so larger runs need no code change.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "ExperimentCase",
+    "env_scale",
+    "scaled_size",
+    "results_dir",
+    "write_csv",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentCase:
+    """A named workload: the paper's test-case stand-in.
+
+    Attributes
+    ----------
+    name:
+        Our generator-based name.
+    paper_name:
+        The SuiteSparse matrix it stands in for.
+    make:
+        Zero-argument factory producing the graph (deterministic).
+    """
+
+    name: str
+    paper_name: str
+    make: Callable[[], Graph]
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Global problem-size multiplier from ``REPRO_SCALE``."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+def scaled_size(base: int, scale: float | None, minimum: int = 16) -> int:
+    """Scale a vertex budget, flooring at ``minimum``."""
+    factor = env_scale() if scale is None else scale
+    return max(minimum, int(round(base * factor)))
+
+
+def results_dir() -> Path:
+    """Directory where experiments drop CSV artifacts (created on demand)."""
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", Path.cwd() / "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_csv(
+    filename: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> Path:
+    """Write experiment rows as CSV under :func:`results_dir`."""
+    path = results_dir() / filename
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

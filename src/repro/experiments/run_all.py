@@ -1,0 +1,41 @@
+"""Run every experiment regenerator in sequence.
+
+Convenience entry point::
+
+    python -m repro.experiments.run_all
+
+Prints each paper table/figure reproduction and drops the CSV artifacts
+under ``results/``.  Sizes honour ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.utils.timing import Timer
+
+EXPERIMENTS = [
+    "repro.experiments.table1",
+    "repro.experiments.table2",
+    "repro.experiments.table3",
+    "repro.experiments.table4",
+    "repro.experiments.figure1",
+    "repro.experiments.figure2",
+    "repro.experiments.ablations",
+]
+
+
+def main() -> None:
+    total = Timer()
+    with total:
+        for name in EXPERIMENTS:
+            module = importlib.import_module(name)
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            with Timer() as t:
+                module.main()
+            print(f"[{name.split('.')[-1]} done in {t.elapsed:.1f}s]")
+    print(f"\nall experiments regenerated in {total.elapsed:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Graph containers, Laplacian algebra, generators, I/O and operations."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import (
+    graph_from_laplacian,
+    graph_from_matrix,
+    ground_matrix,
+    is_laplacian,
+    is_sdd,
+    laplacian,
+    normalized_laplacian,
+    project_out_ones,
+    sdd_split,
+)
+from repro.graphs.components import (
+    bfs_order,
+    bfs_tree_edges,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graphs.operations import (
+    contract,
+    degree_statistics,
+    disjoint_union,
+    induced_subgraph,
+    relabel,
+    remove_edges,
+    union,
+)
+
+__all__ = [
+    "Graph",
+    "laplacian",
+    "graph_from_laplacian",
+    "graph_from_matrix",
+    "sdd_split",
+    "is_laplacian",
+    "is_sdd",
+    "ground_matrix",
+    "project_out_ones",
+    "normalized_laplacian",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "bfs_order",
+    "bfs_tree_edges",
+    "induced_subgraph",
+    "union",
+    "disjoint_union",
+    "contract",
+    "relabel",
+    "remove_edges",
+    "degree_statistics",
+]

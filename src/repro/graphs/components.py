@@ -1,0 +1,96 @@
+"""Connectivity utilities: components, BFS orders, largest component.
+
+Spectral sparsification assumes a connected input (the Laplacian pencil
+is only positive definite on ``1⊥`` of a connected graph), so every
+pipeline entry point validates connectivity through this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "bfs_order",
+    "bfs_tree_edges",
+]
+
+
+def connected_components(graph: Graph) -> tuple[int, np.ndarray]:
+    """Number of components and per-vertex component labels."""
+    if graph.num_edges == 0:
+        return graph.n, np.arange(graph.n, dtype=np.int64)
+    count, labels = csgraph.connected_components(
+        graph.adjacency(), directed=False, return_labels=True
+    )
+    return int(count), labels.astype(np.int64)
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has exactly one connected component."""
+    if graph.n <= 1:
+        return True
+    count, _ = connected_components(graph)
+    return count == 1
+
+
+def largest_component(graph: Graph) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on the largest component plus the vertex map.
+
+    Returns
+    -------
+    (subgraph, vertices):
+        ``vertices[i]`` is the original label of the subgraph's vertex
+        ``i``.  When the graph is already connected the graph itself is
+        returned (no copy).
+    """
+    count, labels = connected_components(graph)
+    if count == 1:
+        return graph, np.arange(graph.n, dtype=np.int64)
+    sizes = np.bincount(labels, minlength=count)
+    keep_label = int(np.argmax(sizes))
+    vertices = np.flatnonzero(labels == keep_label)
+    remap = -np.ones(graph.n, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.size)
+    edge_mask = (labels[graph.u] == keep_label) & (labels[graph.v] == keep_label)
+    sub = Graph(
+        vertices.size,
+        remap[graph.u[edge_mask]],
+        remap[graph.v[edge_mask]],
+        graph.w[edge_mask],
+    )
+    return sub, vertices
+
+
+def bfs_order(graph: Graph, source: int = 0) -> np.ndarray:
+    """Vertices in breadth-first order from ``source`` (own component only)."""
+    order, _ = csgraph.breadth_first_order(
+        graph.adjacency(), i_start=source, directed=False, return_predecessors=True
+    )
+    return order.astype(np.int64)
+
+
+def bfs_tree_edges(graph: Graph, source: int = 0) -> np.ndarray:
+    """Canonical edge indices of a BFS tree rooted at ``source``.
+
+    Useful as the cheapest possible spanning-tree baseline and inside
+    the AKPW clustering rounds.
+    """
+    order, predecessors = csgraph.breadth_first_order(
+        graph.adjacency(), i_start=source, directed=False, return_predecessors=True
+    )
+    reached = order[order >= 0]
+    parents = predecessors[reached]
+    valid = parents >= 0
+    child = reached[valid]
+    parent = parents[valid].astype(np.int64)
+    idx = graph.edge_indices(child, parent)
+    if np.any(idx < 0):  # pragma: no cover - BFS edges always exist
+        raise RuntimeError("BFS produced an edge absent from the graph")
+    return idx

@@ -1,0 +1,309 @@
+"""Core weighted undirected graph container.
+
+:class:`Graph` is the object every algorithm in this library operates on.
+It stores a *canonical edge list* — endpoints ``(u, v)`` with ``u < v``,
+lexicographically sorted, parallel edges merged by summing weights — plus
+lazily built CSR adjacency.  The canonical form makes edge identity
+well-defined, which the sparsification pipeline relies on: a sparsifier is
+represented as the original graph plus a boolean *edge mask*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_vertex_count
+
+__all__ = ["Graph"]
+
+
+def _canonicalize_edges(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return sorted, deduplicated, self-loop-free edge arrays.
+
+    Endpoints are swapped so ``u < v``, self loops are dropped, edges are
+    sorted by ``(u, v)`` and parallel edges merged by summing weights.
+    """
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    w = np.asarray(w, dtype=np.float64).ravel()
+    if not (u.shape == v.shape == w.shape):
+        raise ValueError(
+            f"edge arrays must have equal length, got {u.shape}, {v.shape}, {w.shape}"
+        )
+    if u.size:
+        if u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n:
+            raise ValueError("edge endpoint out of range [0, n)")
+        if not np.all(np.isfinite(w)):
+            raise ValueError("edge weights must be finite")
+        if np.any(w <= 0):
+            raise ValueError("edge weights must be strictly positive")
+    keep = u != v
+    u, v, w = u[keep], v[keep], w[keep]
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    # Sort lexicographically by (lo, hi); merge duplicates.
+    key = lo * np.int64(n) + hi
+    order = np.argsort(key, kind="stable")
+    key, lo, hi, w = key[order], lo[order], hi[order], w[order]
+    if key.size:
+        unique_mask = np.empty(key.size, dtype=bool)
+        unique_mask[0] = True
+        np.not_equal(key[1:], key[:-1], out=unique_mask[1:])
+        group = np.cumsum(unique_mask) - 1
+        merged_w = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+        np.add.at(merged_w, group, w)
+        lo, hi, w = lo[unique_mask], hi[unique_mask], merged_w
+    return lo, hi, w
+
+
+class Graph:
+    """Weighted undirected graph with a canonical edge list.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertices are labelled ``0 .. n-1``.
+    u, v, w:
+        Edge endpoint and positive-weight arrays (any orientation and
+        order; duplicates are merged, self loops dropped).
+
+    Notes
+    -----
+    Instances are treated as immutable: mutating operations return new
+    graphs.  The adjacency matrix and weighted degrees are cached on
+    first use.
+    """
+
+    __slots__ = ("n", "u", "v", "w", "_adjacency", "_degrees", "_edge_key_sorted")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        u: Iterable[int] | np.ndarray = (),
+        v: Iterable[int] | np.ndarray = (),
+        w: Iterable[float] | np.ndarray | None = None,
+    ) -> None:
+        self.n = check_vertex_count(num_vertices)
+        u = np.asarray(list(u) if not isinstance(u, np.ndarray) else u, dtype=np.int64)
+        v = np.asarray(list(v) if not isinstance(v, np.ndarray) else v, dtype=np.int64)
+        if w is None:
+            w = np.ones(u.size, dtype=np.float64)
+        w = np.asarray(list(w) if not isinstance(w, np.ndarray) else w, dtype=np.float64)
+        self.u, self.v, self.w = _canonicalize_edges(self.n, u, v, w)
+        self._adjacency: sp.csr_matrix | None = None
+        self._degrees: np.ndarray | None = None
+        self._edge_key_sorted: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        weights: Iterable[float] | np.ndarray | None = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs."""
+        edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise ValueError(f"edges must be an (m, 2) array, got shape {edge_arr.shape}")
+        return cls(num_vertices, edge_arr[:, 0], edge_arr[:, 1], weights)
+
+    @classmethod
+    def from_sparse(cls, adjacency: sp.spmatrix) -> "Graph":
+        """Build a graph from a (symmetric, non-negative) adjacency matrix.
+
+        Only the strict lower triangle is read, so a symmetric matrix and
+        either of its triangles produce the same graph.  Zero entries are
+        dropped; negative entries raise.
+        """
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+        coo = sp.tril(adjacency.tocoo(), k=-1).tocoo()
+        upper = sp.triu(adjacency.tocoo(), k=1).tocoo()
+        if coo.nnz == 0 and upper.nnz > 0:
+            coo = upper
+        mask = coo.data != 0
+        return cls(adjacency.shape[0], coo.row[mask], coo.col[mask], coo.data[mask])
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (canonical) edges ``|E|``."""
+        return int(self.u.size)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(self.w.sum())
+
+    @property
+    def density(self) -> float:
+        """Edges per vertex, the ``|E|/|V|`` figure the paper tabulates."""
+        return self.num_edges / self.n
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.u, other.u)
+            and np.array_equal(self.v, other.v)
+            and np.allclose(self.w, other.w, rtol=1e-12, atol=0.0)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash for caching
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric weighted adjacency matrix in CSR form (cached)."""
+        if self._adjacency is None:
+            rows = np.concatenate([self.u, self.v])
+            cols = np.concatenate([self.v, self.u])
+            vals = np.concatenate([self.w, self.w])
+            self._adjacency = sp.csr_matrix(
+                (vals, (rows, cols)), shape=(self.n, self.n)
+            )
+        return self._adjacency
+
+    def laplacian(self) -> sp.csr_matrix:
+        """Graph Laplacian ``L = D - A`` per Eq. (1) of the paper."""
+        adj = self.adjacency()
+        lap = sp.diags(self.weighted_degrees()) - adj
+        return lap.tocsr()
+
+    def incidence(self) -> sp.csr_matrix:
+        """Signed edge-vertex incidence matrix ``B`` of shape ``(m, n)``.
+
+        Row ``e`` for edge ``(u, v)`` has ``+1`` at ``u`` and ``-1`` at
+        ``v``, so ``L = Bᵀ W B`` with ``W = diag(w)``.
+        """
+        m = self.num_edges
+        rows = np.repeat(np.arange(m, dtype=np.int64), 2)
+        cols = np.column_stack([self.u, self.v]).ravel()
+        vals = np.tile(np.array([1.0, -1.0]), m)
+        return sp.csr_matrix((vals, (rows, cols)), shape=(m, self.n))
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Weighted degree of every vertex (cached)."""
+        if self._degrees is None:
+            deg = np.zeros(self.n, dtype=np.float64)
+            np.add.at(deg, self.u, self.w)
+            np.add.at(deg, self.v, self.w)
+            self._degrees = deg
+        return self._degrees
+
+    def unweighted_degrees(self) -> np.ndarray:
+        """Number of incident edges per vertex."""
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.u, 1)
+        np.add.at(deg, self.v, 1)
+        return deg
+
+    # ------------------------------------------------------------------
+    # Edge queries
+    # ------------------------------------------------------------------
+    def edge_keys(self) -> np.ndarray:
+        """Canonical scalar key ``u * n + v`` per edge (sorted ascending)."""
+        if self._edge_key_sorted is None:
+            self._edge_key_sorted = self.u * np.int64(self.n) + self.v
+        return self._edge_key_sorted
+
+    def has_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for endpoint pairs."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = lo * np.int64(self.n) + hi
+        idx = np.searchsorted(self.edge_keys(), keys)
+        idx = np.clip(idx, 0, max(self.num_edges - 1, 0))
+        if self.num_edges == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        return self.edge_keys()[idx] == keys
+
+    def edge_indices(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Canonical edge index of each pair; -1 when the edge is absent."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = lo * np.int64(self.n) + hi
+        if self.num_edges == 0:
+            return np.full(keys.shape, -1, dtype=np.int64)
+        idx = np.searchsorted(self.edge_keys(), keys)
+        idx = np.clip(idx, 0, self.num_edges - 1)
+        found = self.edge_keys()[idx] == keys
+        return np.where(found, idx, -1)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Sorted neighbor array of ``vertex`` (via CSR adjacency)."""
+        adj = self.adjacency()
+        return adj.indices[adj.indptr[vertex] : adj.indptr[vertex + 1]]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def edge_subgraph(self, mask_or_indices: np.ndarray) -> "Graph":
+        """Graph on the same vertex set keeping only the selected edges."""
+        sel = np.asarray(mask_or_indices)
+        if sel.dtype == bool:
+            if sel.size != self.num_edges:
+                raise ValueError(
+                    f"mask length {sel.size} != num_edges {self.num_edges}"
+                )
+            idx = np.flatnonzero(sel)
+        else:
+            idx = sel.astype(np.int64)
+        return Graph(self.n, self.u[idx], self.v[idx], self.w[idx])
+
+    def with_edges(
+        self, u: np.ndarray, v: np.ndarray, w: np.ndarray | None = None
+    ) -> "Graph":
+        """New graph with extra edges merged in (weights of duplicates add)."""
+        u = np.asarray(u, dtype=np.int64)
+        if w is None:
+            w = np.ones(u.size, dtype=np.float64)
+        return Graph(
+            self.n,
+            np.concatenate([self.u, u]),
+            np.concatenate([self.v, np.asarray(v, dtype=np.int64)]),
+            np.concatenate([self.w, np.asarray(w, dtype=np.float64)]),
+        )
+
+    def reweighted(self, new_weights: np.ndarray) -> "Graph":
+        """Same topology with new positive edge weights."""
+        new_weights = np.asarray(new_weights, dtype=np.float64)
+        if new_weights.shape != self.w.shape:
+            raise ValueError(
+                f"expected {self.w.shape[0]} weights, got {new_weights.shape}"
+            )
+        return Graph(self.n, self.u, self.v, new_weights)
+
+    def copy(self) -> "Graph":
+        """Independent copy (arrays are copied)."""
+        return Graph(self.n, self.u.copy(), self.v.copy(), self.w.copy())

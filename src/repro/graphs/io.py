@@ -1,0 +1,183 @@
+"""Graph and matrix I/O.
+
+The paper's test cases come from the SuiteSparse (UFL) collection in
+Matrix Market format; this module implements a self-contained Matrix
+Market coordinate reader/writer (symmetric/general, real/pattern) so the
+library can ingest the same files when they are available, plus simple
+edge-list and NumPy archive formats for our synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import graph_from_matrix
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "load_graph_matrix_market",
+    "read_edge_list",
+    "write_edge_list",
+    "save_graph_npz",
+    "load_graph_npz",
+]
+
+
+def read_matrix_market(path: str | Path | _io.TextIOBase) -> sp.coo_matrix:
+    """Parse a Matrix Market coordinate file into a COO matrix.
+
+    Supports ``matrix coordinate real|integer|pattern general|symmetric``
+    headers — the subset the SuiteSparse Laplacian-adjacent collections
+    use.  Symmetric storage is expanded to both triangles; pattern files
+    get unit values (the paper's unit-weight rule).
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        handle = open(path, "r", encoding="utf-8")
+        close = True
+    else:
+        handle = path
+    try:
+        header = handle.readline().strip().lower().split()
+        if len(header) < 5 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+            raise ValueError("not a MatrixMarket matrix file")
+        layout, field, symmetry = header[2], header[3], header[4]
+        if layout != "coordinate":
+            raise ValueError(f"only coordinate layout supported, got {layout!r}")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        dims = line.split()
+        nrows, ncols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = handle.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            if field != "pattern":
+                vals[k] = float(parts[2])
+    finally:
+        if close:
+            handle.close()
+    matrix = sp.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+    if symmetry == "symmetric":
+        off = rows != cols
+        matrix = sp.coo_matrix(
+            (
+                np.concatenate([vals, vals[off]]),
+                (
+                    np.concatenate([rows, cols[off]]),
+                    np.concatenate([cols, rows[off]]),
+                ),
+            ),
+            shape=(nrows, ncols),
+        )
+    elif symmetry == "skew-symmetric":
+        off = rows != cols
+        matrix = sp.coo_matrix(
+            (
+                np.concatenate([vals, -vals[off]]),
+                (
+                    np.concatenate([rows, cols[off]]),
+                    np.concatenate([cols, rows[off]]),
+                ),
+            ),
+            shape=(nrows, ncols),
+        )
+    return matrix
+
+
+def write_matrix_market(
+    path: str | Path | _io.TextIOBase,
+    matrix: sp.spmatrix,
+    symmetric: bool = True,
+    comment: str | None = None,
+) -> None:
+    """Write a sparse matrix in Matrix Market coordinate format."""
+    close = False
+    if isinstance(path, (str, Path)):
+        handle = open(path, "w", encoding="utf-8")
+        close = True
+    else:
+        handle = path
+    try:
+        coo = matrix.tocoo()
+        if symmetric:
+            keep = coo.row >= coo.col
+            rows, cols, vals = coo.row[keep], coo.col[keep], coo.data[keep]
+            sym = "symmetric"
+        else:
+            rows, cols, vals = coo.row, coo.col, coo.data
+            sym = "general"
+        handle.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{coo.shape[0]} {coo.shape[1]} {rows.size}\n")
+        for r, c, val in zip(rows, cols, vals):
+            handle.write(f"{r + 1} {c + 1} {float(val)!r}\n")
+    finally:
+        if close:
+            handle.close()
+
+
+def load_graph_matrix_market(path: str | Path) -> Graph:
+    """Read a Matrix Market file and apply the paper's graph conversion.
+
+    Any symmetric sparse matrix becomes a weighted graph via
+    :func:`repro.graphs.laplacian.graph_from_matrix` (absolute values of
+    strictly-lower-triangular entries; unit weights for pattern files).
+    """
+    return graph_from_matrix(read_matrix_market(path).tocsr())
+
+
+def read_edge_list(path: str | Path, num_vertices: int | None = None) -> Graph:
+    """Read a whitespace ``u v [w]`` edge list (0-based labels)."""
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if num_vertices is None:
+        num_vertices = (max(max(us, default=-1), max(vs, default=-1)) + 1) or 1
+    return Graph(num_vertices, np.array(us), np.array(vs), np.array(ws))
+
+
+def write_edge_list(path: str | Path, graph: Graph) -> None:
+    """Write the canonical edge list as ``u v w`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# vertices {graph.n} edges {graph.num_edges}\n")
+        for u, v, w in zip(graph.u, graph.v, graph.w):
+            handle.write(f"{u} {v} {float(w)!r}\n")
+
+
+def save_graph_npz(path: str | Path, graph: Graph) -> None:
+    """Save a graph as a compressed NumPy archive."""
+    np.savez_compressed(
+        path, n=np.int64(graph.n), u=graph.u, v=graph.v, w=graph.w
+    )
+
+
+def load_graph_npz(path: str | Path) -> Graph:
+    """Load a graph saved by :func:`save_graph_npz`."""
+    with np.load(path) as data:
+        return Graph(int(data["n"]), data["u"], data["v"], data["w"])

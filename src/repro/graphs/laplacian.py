@@ -1,0 +1,154 @@
+"""Laplacian construction, SDD conversion and null-space handling.
+
+Implements the paper's matrix-to-graph rule (Section 4: *"If the original
+matrix is not a graph Laplacian, it will be converted into a graph
+Laplacian by setting each edge weight using the absolute value of each
+nonzero entry in the lower triangular matrix"*) plus the grounding and
+projection plumbing every solver needs because a connected graph's
+Laplacian has null space ``span(1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_square, check_symmetric
+
+__all__ = [
+    "laplacian",
+    "graph_from_laplacian",
+    "graph_from_matrix",
+    "sdd_split",
+    "is_laplacian",
+    "is_sdd",
+    "ground_matrix",
+    "project_out_ones",
+    "normalized_laplacian",
+]
+
+
+def laplacian(graph: Graph) -> sp.csr_matrix:
+    """Graph Laplacian ``L = D - A`` of :class:`Graph` (Eq. 1)."""
+    return graph.laplacian()
+
+
+def graph_from_laplacian(L: sp.spmatrix, tol: float = 1e-12) -> Graph:
+    """Recover the :class:`Graph` whose Laplacian is ``L``.
+
+    Off-diagonal entries must be non-positive; entries with magnitude at
+    most ``tol`` (relative to the largest) are treated as zero.
+    """
+    check_symmetric(L, "L")
+    coo = sp.tril(L.tocoo(), k=-1).tocoo()
+    if coo.nnz:
+        scale = float(np.max(np.abs(coo.data)))
+        mask = np.abs(coo.data) > tol * max(scale, 1.0)
+        data = coo.data[mask]
+        if np.any(data > 0):
+            raise ValueError("off-diagonal Laplacian entries must be <= 0")
+        return Graph(L.shape[0], coo.row[mask], coo.col[mask], -data)
+    return Graph(L.shape[0])
+
+
+def graph_from_matrix(A: sp.spmatrix) -> Graph:
+    """Paper's Section-4 conversion of an arbitrary sparse matrix.
+
+    Each nonzero ``A[i, j]`` with ``i > j`` becomes an edge ``(i, j)`` with
+    weight ``|A[i, j]|``; if the matrix stores only one triangle the other
+    is inferred.  Diagonal entries are ignored.
+    """
+    check_square(A, "A")
+    lower = sp.tril(A.tocoo(), k=-1).tocoo()
+    if lower.nnz == 0:
+        lower = sp.triu(A.tocoo(), k=1).T.tocoo()
+    mask = lower.data != 0
+    return Graph(A.shape[0], lower.row[mask], lower.col[mask], np.abs(lower.data[mask]))
+
+
+def sdd_split(A: sp.spmatrix, tol: float = 1e-12) -> tuple[Graph, np.ndarray]:
+    """Split an SDD matrix into ``(graph, slack)`` with ``A = L_graph + diag(slack)``.
+
+    ``slack`` is the diagonal excess ``A[i,i] - sum_j |A[i,j]|``; it is
+    clipped at zero with a tolerance so exactly-singular Laplacians give a
+    zero slack vector.  Positive off-diagonals are folded in by absolute
+    value (the standard SDD-to-Laplacian reduction used in the paper's
+    experimental setup).
+    """
+    check_symmetric(A, "A")
+    graph = graph_from_matrix(A)
+    diag = np.asarray(A.diagonal(), dtype=np.float64)
+    slack = diag - graph.weighted_degrees()
+    scale = float(np.max(np.abs(diag))) if diag.size else 1.0
+    slack[np.abs(slack) <= tol * max(scale, 1.0)] = 0.0
+    if np.any(slack < 0):
+        raise ValueError("matrix is not symmetric diagonally dominant")
+    return graph, slack
+
+
+def is_laplacian(A: sp.spmatrix, tol: float = 1e-9) -> bool:
+    """True when ``A`` is symmetric with zero row sums and non-positive off-diagonals."""
+    try:
+        check_symmetric(A, "A", tol=tol)
+    except ValueError:
+        return False
+    coo = sp.tril(A.tocoo(), k=-1)
+    scale = max(1.0, float(np.max(np.abs(A.diagonal()))) if A.shape[0] else 1.0)
+    if coo.nnz and np.any(coo.data > tol * scale):
+        return False
+    row_sums = np.asarray(A.sum(axis=1)).ravel()
+    return bool(np.all(np.abs(row_sums) <= tol * scale))
+
+
+def is_sdd(A: sp.spmatrix, tol: float = 1e-9) -> bool:
+    """True when ``A`` is symmetric and (weakly) diagonally dominant."""
+    try:
+        check_symmetric(A, "A", tol=tol)
+    except ValueError:
+        return False
+    diag = np.asarray(A.diagonal(), dtype=np.float64)
+    off = A - sp.diags(diag)
+    abs_row = np.asarray(np.abs(off).sum(axis=1)).ravel()
+    scale = max(1.0, float(np.max(np.abs(diag))) if diag.size else 1.0)
+    return bool(np.all(diag - abs_row >= -tol * scale))
+
+
+def ground_matrix(L: sp.spmatrix, vertex: int = 0) -> sp.csc_matrix:
+    """Delete row/column ``vertex`` — the standard grounding that makes a
+    connected Laplacian non-singular (positive definite)."""
+    n = L.shape[0]
+    check_square(L, "L")
+    if not 0 <= vertex < n:
+        raise ValueError(f"ground vertex {vertex} out of range [0, {n})")
+    keep = np.ones(n, dtype=bool)
+    keep[vertex] = False
+    csr = L.tocsr()
+    return csr[keep][:, keep].tocsc()
+
+
+def project_out_ones(x: np.ndarray) -> np.ndarray:
+    """Orthogonal projection of vector(s) onto ``1⊥`` (columns if 2-D).
+
+    This is the null-space deflation applied after every solve and power
+    step; it keeps iterates inside the subspace where the Laplacian
+    pencil is positive definite.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1:
+        return x - x.mean()
+    return x - x.mean(axis=0, keepdims=True)
+
+
+def normalized_laplacian(graph: Graph) -> sp.csr_matrix:
+    """Symmetrically normalized Laplacian ``D^{-1/2} L D^{-1/2}``.
+
+    Used by the spectral partitioning experiments (the paper partitions
+    with the normalized Laplacian's Fiedler vector, [18, 20]).
+    Isolated vertices get a zero row/column.
+    """
+    deg = graph.weighted_degrees()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-300)), 0.0)
+    D = sp.diags(inv_sqrt)
+    return (D @ graph.laplacian() @ D).tocsr()

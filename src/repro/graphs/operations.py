@@ -1,0 +1,116 @@
+"""Structural graph operations: subgraphs, unions, contraction, relabeling.
+
+The AKPW low-stretch tree builds a hierarchy of *contracted* graphs and
+the experiment generators compose graphs from pieces; both live on the
+operations here.  Everything returns new :class:`Graph` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "induced_subgraph",
+    "union",
+    "contract",
+    "relabel",
+    "remove_edges",
+    "disjoint_union",
+    "degree_statistics",
+]
+
+
+def induced_subgraph(graph: Graph, vertices: np.ndarray) -> tuple[Graph, np.ndarray]:
+    """Subgraph induced on ``vertices`` plus the old-label array.
+
+    Returns ``(subgraph, vertices)`` where subgraph vertex ``i``
+    corresponds to original vertex ``vertices[i]``.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size and (vertices[0] < 0 or vertices[-1] >= graph.n):
+        raise ValueError("vertex label out of range")
+    remap = -np.ones(graph.n, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.size)
+    mask = (remap[graph.u] >= 0) & (remap[graph.v] >= 0)
+    sub = Graph(
+        max(int(vertices.size), 1),
+        remap[graph.u[mask]],
+        remap[graph.v[mask]],
+        graph.w[mask],
+    )
+    return sub, vertices
+
+
+def union(a: Graph, b: Graph) -> Graph:
+    """Edge-wise union of two graphs on the same vertex set.
+
+    Weights of edges present in both graphs are summed (consistent with
+    parallel-edge merging in the canonical form).
+    """
+    if a.n != b.n:
+        raise ValueError(f"vertex counts differ: {a.n} vs {b.n}")
+    return a.with_edges(b.u, b.v, b.w)
+
+
+def disjoint_union(a: Graph, b: Graph) -> Graph:
+    """Graph on ``a.n + b.n`` vertices containing both edge sets side by side."""
+    return Graph(
+        a.n + b.n,
+        np.concatenate([a.u, b.u + a.n]),
+        np.concatenate([a.v, b.v + a.n]),
+        np.concatenate([a.w, b.w]),
+    )
+
+
+def contract(graph: Graph, labels: np.ndarray) -> Graph:
+    """Quotient graph after merging vertices with equal ``labels``.
+
+    ``labels`` must be integers in ``[0, k)``; the result has ``k``
+    vertices, intra-cluster edges vanish and parallel inter-cluster edges
+    merge by weight summation.  This is the contraction step of each AKPW
+    round.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (graph.n,):
+        raise ValueError(f"labels must have shape ({graph.n},), got {labels.shape}")
+    if labels.size == 0:
+        return Graph(1)
+    k = int(labels.max()) + 1
+    if labels.min() < 0:
+        raise ValueError("labels must be non-negative")
+    cu = labels[graph.u]
+    cv = labels[graph.v]
+    keep = cu != cv
+    return Graph(k, cu[keep], cv[keep], graph.w[keep])
+
+
+def relabel(graph: Graph, permutation: np.ndarray) -> Graph:
+    """Apply a vertex permutation: new label of vertex ``i`` is ``permutation[i]``."""
+    permutation = np.asarray(permutation, dtype=np.int64)
+    if permutation.shape != (graph.n,):
+        raise ValueError(f"permutation must have shape ({graph.n},)")
+    if not np.array_equal(np.sort(permutation), np.arange(graph.n)):
+        raise ValueError("permutation must be a bijection on [0, n)")
+    return Graph(graph.n, permutation[graph.u], permutation[graph.v], graph.w)
+
+
+def remove_edges(graph: Graph, edge_indices: np.ndarray) -> Graph:
+    """Graph with the listed canonical edges removed."""
+    mask = np.ones(graph.num_edges, dtype=bool)
+    mask[np.asarray(edge_indices, dtype=np.int64)] = False
+    return graph.edge_subgraph(mask)
+
+
+def degree_statistics(graph: Graph) -> dict[str, float]:
+    """Summary statistics of the unweighted degree distribution."""
+    deg = graph.unweighted_degrees()
+    if deg.size == 0:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "std": 0.0}
+    return {
+        "min": float(deg.min()),
+        "max": float(deg.max()),
+        "mean": float(deg.mean()),
+        "std": float(deg.std()),
+    }

@@ -1,0 +1,28 @@
+"""Linear solvers: PCG, grounded direct factorization, AMG, preconditioners."""
+
+from repro.solvers.cg import SolveResult, conjugate_gradient, pcg
+from repro.solvers.cholesky import DirectSolver
+from repro.solvers.amg import AMGSolver, heavy_edge_aggregates
+from repro.solvers.preconditioners import (
+    amg_preconditioner,
+    factorized_preconditioner,
+    identity_preconditioner,
+    jacobi_preconditioner,
+    sparsifier_preconditioner,
+    tree_preconditioner,
+)
+
+__all__ = [
+    "SolveResult",
+    "pcg",
+    "conjugate_gradient",
+    "DirectSolver",
+    "AMGSolver",
+    "heavy_edge_aggregates",
+    "identity_preconditioner",
+    "jacobi_preconditioner",
+    "tree_preconditioner",
+    "factorized_preconditioner",
+    "amg_preconditioner",
+    "sparsifier_preconditioner",
+]

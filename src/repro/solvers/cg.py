@@ -1,0 +1,161 @@
+"""Conjugate gradient and preconditioned conjugate gradient (PCG).
+
+This is the iterative engine of the paper's Section 4.2 experiments: a
+textbook PCG whose preconditioner is a callable ``M⁻¹`` application —
+a tree solver, a factorized sparsifier, or an AMG V-cycle.  Laplacian
+systems are singular, so the solver optionally projects the RHS and all
+iterates onto ``1⊥`` (null-space deflation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["SolveResult", "pcg", "conjugate_gradient"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x:
+        The (approximate) solution.
+    converged:
+        Whether the residual target was met within ``maxiter``.
+    iterations:
+        Number of iterations performed.
+    residual_norms:
+        ``‖r_k‖₂`` per iteration, starting with the initial residual —
+        the PCG convergence histories behind Table 2.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def _as_matvec(A) -> Callable[[np.ndarray], np.ndarray]:
+    if sp.issparse(A) or isinstance(A, np.ndarray):
+        return lambda x: A @ x
+    if callable(A):
+        return A
+    matvec = getattr(A, "matvec", None)
+    if matvec is not None:
+        return matvec
+    raise TypeError(f"cannot use {type(A)!r} as a linear operator")
+
+
+def pcg(
+    A,
+    b: np.ndarray,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+    tol: float = 1e-6,
+    maxiter: int = 1000,
+    x0: np.ndarray | None = None,
+    project_nullspace: bool = False,
+) -> SolveResult:
+    """Preconditioned conjugate gradient for SPD (or SPSD Laplacian) systems.
+
+    Parameters
+    ----------
+    A:
+        Sparse matrix, dense matrix, ``matvec`` object or callable.
+    b:
+        Right-hand side.
+    preconditioner:
+        Callable applying ``M⁻¹`` to a vector; ``None`` for plain CG.
+    tol:
+        Relative residual target ``‖Ax − b‖ ≤ tol · ‖b‖`` (the paper's
+        stopping rule with ``tol = 1e-3`` in Section 4.2).
+    maxiter:
+        Iteration cap.
+    x0:
+        Optional initial guess (defaults to zero).
+    project_nullspace:
+        Set True when ``A`` is a connected-graph Laplacian: the RHS and
+        all iterates are kept orthogonal to the all-ones null space.
+
+    Returns
+    -------
+    SolveResult
+    """
+    matvec = _as_matvec(A)
+    b = np.asarray(b, dtype=np.float64)
+    if tol <= 0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    if maxiter < 1:
+        raise ValueError(f"maxiter must be >= 1, got {maxiter}")
+
+    def project(vec: np.ndarray) -> np.ndarray:
+        return vec - vec.mean() if project_nullspace else vec
+
+    b = project(b)
+    x = np.zeros_like(b) if x0 is None else project(np.asarray(x0, dtype=np.float64))
+    r = b - matvec(x) if x0 is not None else b.copy()
+    r = project(r)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return SolveResult(x=np.zeros_like(b), converged=True, iterations=0,
+                           residual_norms=[0.0])
+    target = tol * b_norm
+    residuals = [float(np.linalg.norm(r))]
+    if residuals[0] <= target:
+        return SolveResult(x=x, converged=True, iterations=0, residual_norms=residuals)
+
+    z = preconditioner(r) if preconditioner is not None else r
+    z = project(z)
+    p = z.copy()
+    rz = float(r @ z)
+    for iteration in range(1, maxiter + 1):
+        Ap = project(matvec(p))
+        pAp = float(p @ Ap)
+        if pAp <= 0.0:
+            # Breakdown: matrix not positive definite on this subspace.
+            return SolveResult(
+                x=x, converged=False, iterations=iteration - 1,
+                residual_norms=residuals,
+            )
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        res_norm = float(np.linalg.norm(r))
+        residuals.append(res_norm)
+        if res_norm <= target:
+            return SolveResult(
+                x=project(x), converged=True, iterations=iteration,
+                residual_norms=residuals,
+            )
+        z = preconditioner(r) if preconditioner is not None else r
+        z = project(z)
+        rz_next = float(r @ z)
+        beta = rz_next / rz
+        rz = rz_next
+        p = z + beta * p
+    return SolveResult(x=project(x), converged=False, iterations=maxiter,
+                       residual_norms=residuals)
+
+
+def conjugate_gradient(
+    A,
+    b: np.ndarray,
+    tol: float = 1e-6,
+    maxiter: int = 1000,
+    x0: np.ndarray | None = None,
+    project_nullspace: bool = False,
+) -> SolveResult:
+    """Plain CG — :func:`pcg` without a preconditioner."""
+    return pcg(
+        A, b, preconditioner=None, tol=tol, maxiter=maxiter, x0=x0,
+        project_nullspace=project_nullspace,
+    )

@@ -1,0 +1,98 @@
+"""Grounded sparse direct solver (the paper's CHOLMOD stand-in [5]).
+
+Factorizes an SDD matrix once and solves repeatedly.  Singular
+Laplacians (zero row sums) are grounded at one vertex — the reduced
+matrix is positive definite — and solutions are re-centered so the
+solver applies the pseudoinverse ``L⁺`` on ``1⊥``.  SuperLU supplies
+the factorization; its L/U nonzero count is the "memory" column of the
+paper's Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.laplacian import ground_matrix
+from repro.utils.memory import factor_nbytes
+from repro.utils.validation import check_square
+
+__all__ = ["DirectSolver"]
+
+
+class DirectSolver:
+    """Factor-once/solve-many direct solver for SDD and Laplacian matrices.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse SDD matrix.  If its row sums vanish (graph Laplacian of a
+        connected graph), the system is solved in grounded form.
+    ground_vertex:
+        Vertex to ground when the matrix is singular (default 0).
+
+    Notes
+    -----
+    For a singular Laplacian the returned solution is the minimum-norm
+    (mean-free) representative, matching :class:`TreeSolver` semantics,
+    and requires a compatible RHS (``sum(b) = 0``); the solver projects
+    the RHS to enforce this.
+    """
+
+    def __init__(self, matrix: sp.spmatrix, ground_vertex: int = 0) -> None:
+        check_square(matrix, "matrix")
+        self.n = matrix.shape[0]
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        scale = max(1.0, float(np.abs(matrix.diagonal()).max()) if self.n else 1.0)
+        self.singular = bool(np.all(np.abs(row_sums) <= 1e-9 * scale))
+        self.ground_vertex = ground_vertex if self.singular else -1
+        if self.singular:
+            if self.n == 1:
+                self._lu = None
+            else:
+                reduced = ground_matrix(matrix, ground_vertex).tocsc()
+                self._lu = spla.splu(reduced)
+            keep = np.ones(self.n, dtype=bool)
+            keep[ground_vertex] = False
+            self._keep = keep
+        else:
+            self._lu = spla.splu(matrix.tocsc())
+            self._keep = None
+
+    @property
+    def factor_bytes(self) -> int:
+        """Memory footprint of the L/U factors in bytes (Table 3's M_D)."""
+        if self._lu is None:
+            return 0
+        return factor_nbytes(self._lu)
+
+    @property
+    def factor_nnz(self) -> int:
+        """Nonzeros in L plus U."""
+        if self._lu is None:
+            return 0
+        return int(self._lu.L.nnz + self._lu.U.nnz)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve for one vector or each column of a matrix."""
+        b = np.asarray(b, dtype=np.float64)
+        single = b.ndim == 1
+        if single:
+            b = b[:, None]
+        if b.shape[0] != self.n:
+            raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
+        if not self.singular:
+            x = self._lu.solve(b)
+            return x[:, 0] if single else x
+        # Singular path: project RHS, solve grounded, re-center.
+        rhs = b - b.mean(axis=0, keepdims=True)
+        x = np.zeros_like(rhs)
+        if self._lu is not None:
+            x[self._keep] = self._lu.solve(rhs[self._keep])
+        x -= x.mean(axis=0, keepdims=True)
+        return x[:, 0] if single else x
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        """Alias so the solver doubles as a PCG preconditioner."""
+        return self.solve(b)

@@ -1,0 +1,73 @@
+"""Similarity-aware spectral sparsification (the paper's contribution)."""
+
+from repro.sparsify.edge_embedding import (
+    default_num_vectors,
+    joule_heats,
+    power_iterate,
+)
+from repro.sparsify.filtering import (
+    FilterDecision,
+    filter_edges,
+    heat_threshold,
+    normalized_heats,
+)
+from repro.sparsify.edge_similarity import select_dissimilar
+from repro.sparsify.densify import DensifyIteration, DensifyResult, densify
+from repro.sparsify.similarity_aware import (
+    SimilarityAwareSparsifier,
+    SparsifyResult,
+    refine_sparsifier,
+    sparsify_graph,
+)
+from repro.sparsify.effective_resistance import (
+    approx_effective_resistances,
+    exact_effective_resistances,
+)
+from repro.sparsify.baselines import (
+    effective_resistance_sparsifier,
+    top_k_heat_sparsifier,
+    tree_sparsifier,
+    uniform_sparsifier,
+)
+from repro.sparsify.metrics import (
+    SimilarityEstimate,
+    estimate_condition_number,
+    exact_condition_number,
+    quadratic_form_ratios,
+)
+from repro.sparsify.rescaling import (
+    RescaleResult,
+    rescale_for_similarity,
+    tune_off_tree_scale,
+)
+
+__all__ = [
+    "default_num_vectors",
+    "power_iterate",
+    "joule_heats",
+    "FilterDecision",
+    "heat_threshold",
+    "normalized_heats",
+    "filter_edges",
+    "select_dissimilar",
+    "DensifyIteration",
+    "DensifyResult",
+    "densify",
+    "SimilarityAwareSparsifier",
+    "SparsifyResult",
+    "sparsify_graph",
+    "refine_sparsifier",
+    "exact_effective_resistances",
+    "approx_effective_resistances",
+    "tree_sparsifier",
+    "uniform_sparsifier",
+    "effective_resistance_sparsifier",
+    "top_k_heat_sparsifier",
+    "SimilarityEstimate",
+    "exact_condition_number",
+    "estimate_condition_number",
+    "quadratic_form_ratios",
+    "RescaleResult",
+    "rescale_for_similarity",
+    "tune_off_tree_scale",
+]

@@ -1,0 +1,126 @@
+"""Baseline sparsifiers the paper compares against (implicitly or in prior work).
+
+- *spanning tree only*: the backbone without any off-tree edge — the
+  starting point of the densification loop;
+- *uniform sampling*: spanning tree + uniformly random off-tree edges —
+  the structure-oblivious control;
+- *effective-resistance sampling* (Spielman–Srivastava [17]): edges
+  sampled with probability ∝ ``w_e · R_eff(e)`` and reweighted to keep
+  the Laplacian unbiased;
+- *top-k heat* (GRASS/DAC'16-style [9]): spanning tree + the k
+  highest-Joule-heat off-tree edges, without similarity-aware filtering
+  — the ablation that isolates this paper's contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.sparsify.edge_embedding import joule_heats
+from repro.sparsify.edge_similarity import select_dissimilar
+from repro.sparsify.effective_resistance import approx_effective_resistances
+from repro.trees.lsst import low_stretch_tree
+from repro.trees.tree import RootedTree
+from repro.trees.tree_solver import TreeSolver
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "tree_sparsifier",
+    "uniform_sparsifier",
+    "effective_resistance_sparsifier",
+    "top_k_heat_sparsifier",
+]
+
+
+def tree_sparsifier(
+    graph: Graph, method: str = "akpw", seed=None
+) -> Graph:
+    """Spanning-tree-only sparsifier (the ultra-sparse extreme)."""
+    return graph.edge_subgraph(low_stretch_tree(graph, method=method, seed=seed))
+
+
+def uniform_sparsifier(
+    graph: Graph, num_off_tree: int, tree_method: str = "akpw", seed=None
+) -> Graph:
+    """Spanning tree plus ``num_off_tree`` uniformly random off-tree edges."""
+    rng = as_rng(seed)
+    tree = low_stretch_tree(graph, method=tree_method, seed=rng)
+    mask = np.zeros(graph.num_edges, dtype=bool)
+    mask[tree] = True
+    off = np.flatnonzero(~mask)
+    take = min(int(num_off_tree), off.size)
+    if take > 0:
+        mask[rng.choice(off, size=take, replace=False)] = True
+    return graph.edge_subgraph(mask)
+
+
+def effective_resistance_sparsifier(
+    graph: Graph,
+    num_samples: int,
+    epsilon: float = 0.3,
+    seed=None,
+    ensure_connected: bool = True,
+) -> Graph:
+    """Spielman–Srivastava sampling sparsifier [17].
+
+    Draw ``num_samples`` edges with replacement with probability
+    ``p_e ∝ w_e · R_eff(e)`` and weight each kept edge
+    ``w_e · (count_e) / (num_samples · p_e)`` so the sparsified
+    Laplacian is an unbiased estimator of ``L_G``.  With
+    ``ensure_connected`` a spanning tree (at original weights) is
+    blended in so downstream solvers see a connected proxy.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    rng = as_rng(seed)
+    resistances = approx_effective_resistances(graph, epsilon=epsilon, seed=rng)
+    scores = graph.w * np.maximum(resistances, 0.0)
+    total = float(scores.sum())
+    if total <= 0:
+        raise RuntimeError("all effective-resistance scores vanished")
+    probabilities = scores / total
+    counts = rng.multinomial(num_samples, probabilities)
+    keep = counts > 0
+    new_w = graph.w[keep] * counts[keep] / (num_samples * probabilities[keep])
+    sampled = Graph(graph.n, graph.u[keep], graph.v[keep], new_w)
+    if not ensure_connected:
+        return sampled
+    tree = low_stretch_tree(graph, method="maxw")
+    tree_mask = np.zeros(graph.num_edges, dtype=bool)
+    tree_mask[tree] = True
+    missing = tree_mask & ~keep
+    return sampled.with_edges(graph.u[missing], graph.v[missing], graph.w[missing])
+
+
+def top_k_heat_sparsifier(
+    graph: Graph,
+    num_off_tree: int,
+    tree_method: str = "akpw",
+    t: int = 2,
+    num_vectors: int | None = None,
+    similarity_mode: str = "none",
+    seed=None,
+) -> Graph:
+    """GRASS-style fixed-budget sparsifier: tree + top-k heat edges [9].
+
+    Unlike the similarity-aware pipeline, the off-tree budget is fixed a
+    priori instead of derived from a σ² target — exactly the limitation
+    the paper's filtering scheme removes.
+    """
+    rng = as_rng(seed)
+    tree = low_stretch_tree(graph, method=tree_method, seed=rng)
+    mask = np.zeros(graph.num_edges, dtype=bool)
+    mask[tree] = True
+    off = np.flatnonzero(~mask)
+    if off.size and num_off_tree > 0:
+        solver = TreeSolver(RootedTree.from_graph(graph, tree))
+        heats = joule_heats(
+            graph, solver, off, t=t, num_vectors=num_vectors, seed=rng
+        )
+        order = off[np.argsort(-heats, kind="stable")]
+        chosen = select_dissimilar(
+            graph, order, max_edges=int(num_off_tree), mode=similarity_mode
+        )
+        mask[chosen] = True
+    return graph.edge_subgraph(mask)

@@ -1,0 +1,89 @@
+"""Effective resistances: exact solves and Johnson–Lindenstrauss sketches.
+
+The Spielman–Srivastava sparsifier [17] — the sampling baseline the
+paper compares its deterministic filtering against — needs the effective
+resistance ``R_eff(u, v) = (e_u − e_v)ᵀ L⁺ (e_u − e_v)`` of every edge.
+Exact values come from one Laplacian solve per probed pair; the JL
+sketch gets all of them from ``O(log n / ε²)`` solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.solvers.cholesky import DirectSolver
+from repro.utils.rng import as_rng
+
+__all__ = ["exact_effective_resistances", "approx_effective_resistances"]
+
+
+def exact_effective_resistances(
+    graph: Graph,
+    pairs: np.ndarray | None = None,
+    solver: DirectSolver | None = None,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Exact effective resistance of vertex pairs (default: every edge).
+
+    Parameters
+    ----------
+    graph:
+        Connected graph.
+    pairs:
+        ``(k, 2)`` vertex pairs; defaults to the graph's edges.
+    solver:
+        Reusable factorization of the graph Laplacian.
+    batch_size:
+        Pairs solved per batched multi-RHS solve (memory control).
+    """
+    if pairs is None:
+        pairs = np.column_stack([graph.u, graph.v])
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if solver is None:
+        solver = DirectSolver(graph.laplacian().tocsc())
+    out = np.empty(pairs.shape[0], dtype=np.float64)
+    for start in range(0, pairs.shape[0], batch_size):
+        chunk = pairs[start : start + batch_size]
+        rhs = np.zeros((graph.n, chunk.shape[0]))
+        cols = np.arange(chunk.shape[0])
+        rhs[chunk[:, 0], cols] = 1.0
+        rhs[chunk[:, 1], cols] -= 1.0
+        x = solver.solve(rhs)
+        out[start : start + batch_size] = (
+            x[chunk[:, 0], cols] - x[chunk[:, 1], cols]
+        )
+    return out
+
+
+def approx_effective_resistances(
+    graph: Graph,
+    epsilon: float = 0.3,
+    seed: int | np.random.Generator | None = None,
+    solver: DirectSolver | None = None,
+) -> np.ndarray:
+    """JL-sketched effective resistances of all edges (Spielman–Srivastava).
+
+    ``R_eff(e) = ‖W^{1/2} B L⁺ (e_u − e_v)‖²`` is preserved to a
+    ``(1 ± ε)`` factor by projecting onto ``k = O(log n / ε²)`` random
+    ±1 directions: solve ``L Z = Bᵀ W^{1/2} Q`` for a ``(m, k)`` sketch
+    ``Q`` and read resistances off row differences of ``Z``.
+
+    Returns one value per canonical edge.
+    """
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    rng = as_rng(seed)
+    n, m = graph.n, graph.num_edges
+    k = max(4, int(np.ceil(24.0 * np.log(max(n, 2)) / epsilon**2)) // 4)
+    if solver is None:
+        solver = DirectSolver(graph.laplacian().tocsc())
+    signs = rng.choice([-1.0, 1.0], size=(m, k)) / np.sqrt(k)
+    scaled = signs * np.sqrt(graph.w)[:, None]
+    # Bᵀ (W^{1/2} Q): accumulate ± rows at the edge endpoints.
+    rhs = np.zeros((n, k))
+    np.add.at(rhs, graph.u, scaled)
+    np.subtract.at(rhs, graph.v, scaled)
+    Z = solver.solve(rhs)
+    diffs = Z[graph.u] - Z[graph.v]
+    return np.einsum("ij,ij->i", diffs, diffs)

@@ -1,0 +1,92 @@
+"""Off-tree edge filtering by normalized Joule heat (paper Section 3.5).
+
+Given the desired similarity σ² and the extreme generalized eigenvalue
+estimates, the filter threshold is
+
+    θ_σ ≈ (σ² · λmin / λmax)^(2t+1)                         (Eq. 15)
+
+and an off-tree edge passes the filter when its heat, normalized by the
+maximum heat, is at least θ_σ.  The derivation assumes the nearly
+worst-case eigenvalue distribution λ_i = 2 λmax / (i + 1) (Eq. 11) for
+"spectrally-unique" edges, and carries over to general off-tree edges
+with λ̃min ≈ λmin.  When θ_σ ≥ 1 the sparsifier already meets the
+similarity target and no edge passes — the filter doubles as the
+densification stopping rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FilterDecision", "heat_threshold", "normalized_heats", "filter_edges"]
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of one edge-filtering pass.
+
+    Attributes
+    ----------
+    threshold:
+        θ_σ used for the pass.
+    normalized:
+        Heat of each candidate normalized by the maximum heat.
+    passing:
+        Positions (into the candidate arrays) that pass, sorted by
+        decreasing heat.
+    """
+
+    threshold: float
+    normalized: np.ndarray
+    passing: np.ndarray
+
+
+def heat_threshold(sigma2: float, lambda_min: float, lambda_max: float,
+                   t: int = 2) -> float:
+    """Eq. (15): θ_σ = (σ² λmin / λmax)^(2t+1), clipped to [0, 1].
+
+    ``θ_σ ≥ 1`` signals that λmax ≤ σ² λmin already holds (similarity
+    reached).
+    """
+    if sigma2 <= 0:
+        raise ValueError(f"sigma2 must be positive, got {sigma2}")
+    if lambda_min <= 0 or lambda_max <= 0:
+        raise ValueError(
+            f"eigenvalue estimates must be positive, got λmin={lambda_min}, "
+            f"λmax={lambda_max}"
+        )
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    ratio = sigma2 * lambda_min / lambda_max
+    if ratio >= 1.0:
+        return 1.0
+    return float(ratio ** (2 * t + 1))
+
+
+def normalized_heats(heats: np.ndarray) -> np.ndarray:
+    """Heats scaled by the maximum heat (Eq. 15's θ_(p,q) numerators)."""
+    heats = np.asarray(heats, dtype=np.float64)
+    if heats.size == 0:
+        return heats
+    maximum = float(heats.max())
+    if maximum <= 0.0:
+        return np.zeros_like(heats)
+    return heats / maximum
+
+
+def filter_edges(heats: np.ndarray, threshold: float) -> FilterDecision:
+    """Select candidates whose normalized heat meets ``threshold``.
+
+    Returns passing candidate positions sorted by decreasing heat so the
+    downstream similarity check processes the spectrally most critical
+    edges first.
+    """
+    norm = normalized_heats(heats)
+    if threshold >= 1.0:
+        passing = np.array([], dtype=np.int64)
+    else:
+        passing = np.flatnonzero(norm >= threshold)
+        passing = passing[np.argsort(-norm[passing], kind="stable")]
+    return FilterDecision(threshold=float(threshold), normalized=norm, passing=passing)

@@ -1,0 +1,162 @@
+"""Sparsifier edge re-scaling (paper §3.1's optional improvement).
+
+The paper keeps original edge weights in the sparsifier but notes that
+*"edge re-scaling schemes [19] can be applied to further improve the
+approximation"*.  Two practical schemes are provided:
+
+- :func:`rescale_for_similarity` — a *global* rescaling of ``L_P`` by
+  ``√(λmax · λmin)``.  It leaves the relative condition number
+  κ = λmax/λmin unchanged but centres the pencil spectrum around 1,
+  which improves the two-sided σ-similarity of Eq. 2 from
+  ``σ = max(λmax, 1/λmin)`` to the optimal ``σ = √κ``.  (For subgraph
+  sparsifiers λmin ≥ 1, so without rescaling σ = λmax ≈ κ.)
+
+- :func:`tune_off_tree_scale` — a one-parameter *structural* rescaling:
+  off-tree (recovered) edges are scaled by a factor α chosen to
+  minimize the estimated condition number.  Recovered edges carry the
+  burden of fixing the dominant eigenvalues; boosting them slightly
+  (α > 1) often buys a measurably smaller κ at zero extra edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.solvers.cholesky import DirectSolver
+from repro.spectral.extreme import estimate_lambda_max, estimate_lambda_min
+from repro.utils.rng import as_rng
+
+__all__ = ["RescaleResult", "rescale_for_similarity", "tune_off_tree_scale"]
+
+
+@dataclass
+class RescaleResult:
+    """Outcome of a re-scaling pass.
+
+    Attributes
+    ----------
+    sparsifier:
+        The re-scaled sparsifier.
+    scale:
+        The applied factor (global factor, or off-tree factor α).
+    sigma:
+        Best certified σ of Eq. 2 after rescaling (``√(λmax/λmin)`` for
+        the global scheme; estimated for the structural scheme).
+    condition_number:
+        Estimated κ after rescaling.
+    """
+
+    sparsifier: Graph
+    scale: float
+    sigma: float
+    condition_number: float
+
+
+def rescale_for_similarity(
+    graph: Graph,
+    sparsifier: Graph,
+    power_iterations: int = 10,
+    seed: int | np.random.Generator | None = None,
+) -> RescaleResult:
+    """Globally rescale ``L_P`` so the Eq. 2 similarity σ is optimal.
+
+    With pencil extremes λmin, λmax (of the *unscaled* subgraph pencil),
+    scaling every sparsifier weight by ``s = √(λmax λmin)`` maps the
+    spectrum to ``[√(λmin/λmax), √(λmax/λmin)]``, symmetric about 1, so
+    both inequalities of Eq. 2 hold with ``σ = √(λmax/λmin) = √κ`` —
+    the best any global scaling can do.
+    """
+    rng = as_rng(seed)
+    solver = DirectSolver(sparsifier.laplacian().tocsc())
+    lam_max = estimate_lambda_max(
+        graph, sparsifier, solver, iterations=power_iterations, seed=rng
+    )
+    lam_min = estimate_lambda_min(graph, sparsifier)
+    scale = float(np.sqrt(lam_max * lam_min))
+    kappa = lam_max / lam_min
+    return RescaleResult(
+        sparsifier=sparsifier.reweighted(sparsifier.w * scale),
+        scale=scale,
+        sigma=float(np.sqrt(kappa)),
+        condition_number=kappa,
+    )
+
+
+def tune_off_tree_scale(
+    graph: Graph,
+    sparsifier: Graph,
+    tree_indices: np.ndarray,
+    candidates: np.ndarray | None = None,
+    power_iterations: int = 10,
+    seed: int | np.random.Generator | None = None,
+) -> RescaleResult:
+    """Scale the recovered off-tree edges by the κ-minimizing factor α.
+
+    Parameters
+    ----------
+    graph:
+        The original graph.
+    sparsifier:
+        The similarity-aware sparsifier (subgraph of ``graph``).
+    tree_indices:
+        Canonical indices (into ``graph``) of the spanning-tree
+        backbone; all other sparsifier edges are treated as off-tree.
+    candidates:
+        Trial α values (default: a coarse log grid around 1).
+    power_iterations, seed:
+        Condition-number estimation parameters.
+
+    Notes
+    -----
+    The search evaluates the §3.6 estimator per trial — each trial costs
+    one factorization of the rescaled ``L_P``, so the default grid keeps
+    to seven points.  α = 1 is always included; the result can therefore
+    never be worse than the input (up to estimator noise).
+    """
+    rng = as_rng(seed)
+    tree_indices = np.asarray(tree_indices, dtype=np.int64)
+    if candidates is None:
+        candidates = np.array([0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0])
+    # Identify which sparsifier edges are tree edges.
+    tree_keys = set(
+        (int(u), int(v))
+        for u, v in zip(graph.u[tree_indices], graph.v[tree_indices])
+    )
+    is_tree = np.array(
+        [(int(u), int(v)) in tree_keys for u, v in zip(sparsifier.u, sparsifier.v)],
+        dtype=bool,
+    )
+    best: RescaleResult | None = None
+    for alpha in np.asarray(candidates, dtype=np.float64):
+        if alpha <= 0:
+            raise ValueError(f"scale candidates must be positive, got {alpha}")
+        w = sparsifier.w.copy()
+        w[~is_tree] *= alpha
+        trial = sparsifier.reweighted(w)
+        solver = DirectSolver(trial.laplacian().tocsc())
+        lam_max = estimate_lambda_max(
+            graph, trial, solver, iterations=power_iterations, seed=rng
+        )
+        # The degree-ratio bound needs P ⪯ G (a subgraph); a scaled trial
+        # may violate that, so fall back to the generic two-sided bound:
+        # λmin ≥ 1/λmax(L_G⁺ L_P), estimated by power iteration on the
+        # reversed pencil.
+        lam_min_rev = estimate_lambda_max(
+            trial, graph, DirectSolver(graph.laplacian().tocsc()),
+            iterations=power_iterations, seed=rng,
+        )
+        lam_min = 1.0 / lam_min_rev
+        kappa = lam_max / lam_min
+        result = RescaleResult(
+            sparsifier=trial,
+            scale=float(alpha),
+            sigma=float(np.sqrt(max(kappa, 1.0))),
+            condition_number=float(kappa),
+        )
+        if best is None or result.condition_number < best.condition_number:
+            best = result
+    assert best is not None
+    return best

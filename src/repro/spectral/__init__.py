@@ -1,0 +1,62 @@
+"""Spectral algorithms: eigensolvers, Fiedler vectors, partitioning, GSP."""
+
+from repro.spectral.eigs import (
+    dense_generalized_eigs,
+    exact_extreme_generalized_eigs,
+    ones_complement_basis,
+    smallest_laplacian_eigs,
+)
+from repro.spectral.extreme import (
+    estimate_lambda_max,
+    estimate_lambda_min,
+    generalized_power_iteration,
+)
+from repro.spectral.fiedler import FiedlerResult, fiedler_vector
+from repro.spectral.partition import (
+    balance_ratio,
+    conductance,
+    cut_weight,
+    partition_disagreement,
+    sign_cut,
+)
+from repro.spectral.embedding import (
+    procrustes_alignment_error,
+    spectral_coordinates,
+    subspace_angles_degrees,
+)
+from repro.spectral.clustering import KMeansResult, kmeans, spectral_clustering
+from repro.spectral.gsp import (
+    GraphFourier,
+    chebyshev_filter,
+    heat_kernel,
+    low_pass,
+    smoothness,
+)
+
+__all__ = [
+    "dense_generalized_eigs",
+    "exact_extreme_generalized_eigs",
+    "ones_complement_basis",
+    "smallest_laplacian_eigs",
+    "estimate_lambda_max",
+    "estimate_lambda_min",
+    "generalized_power_iteration",
+    "FiedlerResult",
+    "fiedler_vector",
+    "sign_cut",
+    "balance_ratio",
+    "cut_weight",
+    "conductance",
+    "partition_disagreement",
+    "spectral_coordinates",
+    "procrustes_alignment_error",
+    "subspace_angles_degrees",
+    "KMeansResult",
+    "kmeans",
+    "spectral_clustering",
+    "GraphFourier",
+    "chebyshev_filter",
+    "low_pass",
+    "heat_kernel",
+    "smoothness",
+]

@@ -1,0 +1,97 @@
+"""Fiedler vector computation by inverse power iteration.
+
+The paper's spectral partitioner (Section 4.3) obtains the approximate
+Fiedler vector — the eigenvector of the smallest nonzero Laplacian
+eigenvalue — with a few inverse power iterations [20], where each
+iteration solves one Laplacian system.  The solver is pluggable: a
+direct factorization reproduces the paper's "T_D" column, a
+sparsifier-preconditioned PCG its "T_I" column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.rng import as_rng
+
+__all__ = ["FiedlerResult", "fiedler_vector"]
+
+
+@dataclass
+class FiedlerResult:
+    """Approximate Fiedler pair plus iteration diagnostics.
+
+    Attributes
+    ----------
+    vector:
+        Unit-norm approximate Fiedler vector (mean-free).
+    value:
+        Rayleigh-quotient estimate of the Fiedler eigenvalue λ₂.
+    iterations:
+        Inverse power iterations performed.
+    residual:
+        Final eigen-residual ``‖L v − λ v‖₂``.
+    """
+
+    vector: np.ndarray
+    value: float
+    iterations: int
+    residual: float
+
+
+def fiedler_vector(
+    L: sp.spmatrix,
+    solve: Callable[[np.ndarray], np.ndarray],
+    iterations: int = 12,
+    tol: float = 1e-8,
+    seed: int | np.random.Generator | None = None,
+) -> FiedlerResult:
+    """Inverse power iteration for the Fiedler pair of a Laplacian.
+
+    Parameters
+    ----------
+    L:
+        The (singular, connected-graph) Laplacian.
+    solve:
+        Callable applying an (approximate) ``L⁺``: each call must solve
+        one Laplacian system on ``1⊥``.
+    iterations:
+        Maximum inverse power iterations ("a few" suffice per [20]).
+    tol:
+        Early-exit threshold on the eigen-residual relative to λ.
+    seed:
+        Seed for the random start vector.
+
+    Notes
+    -----
+    Inverse iteration on ``1⊥`` converges to the smallest nontrivial
+    eigenpair at rate ``λ₂/λ₃`` — fast in practice because mesh-like
+    graphs have well-separated low modes.
+    """
+    n = L.shape[0]
+    rng = as_rng(seed)
+    v = rng.standard_normal(n)
+    v -= v.mean()
+    v /= np.linalg.norm(v)
+    value = float(v @ (L @ v))
+    done_iterations = 0
+    residual = float("inf")
+    for done_iterations in range(1, iterations + 1):
+        v = solve(v)
+        v -= v.mean()
+        norm = np.linalg.norm(v)
+        if norm == 0.0:  # pragma: no cover - degenerate start vector
+            raise RuntimeError("inverse iteration collapsed to the null space")
+        v /= norm
+        Lv = L @ v
+        value = float(v @ Lv)
+        residual = float(np.linalg.norm(Lv - value * v))
+        if residual <= tol * max(abs(value), 1e-30):
+            break
+    return FiedlerResult(
+        vector=v, value=value, iterations=done_iterations, residual=residual
+    )

@@ -1,0 +1,78 @@
+"""Sign-cut spectral partitioning and cut quality metrics.
+
+The paper partitions graphs into two pieces with the *sign cut* [18]: a
+vertex goes to V₊ or V₋ according to the sign of its Fiedler-vector
+entry.  Table 3 reports the balance ``|V₊|/|V₋|`` and the relative
+disagreement between the direct and sparsifier-accelerated solvers;
+both metrics live here together with standard cut quality measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "sign_cut",
+    "balance_ratio",
+    "cut_weight",
+    "conductance",
+    "partition_disagreement",
+]
+
+
+def sign_cut(vector: np.ndarray) -> np.ndarray:
+    """Boolean labels from the sign of a (Fiedler) vector.
+
+    Zero entries are assigned to the positive side, matching the
+    convention of [18].
+    """
+    return np.asarray(vector) >= 0.0
+
+
+def balance_ratio(labels: np.ndarray) -> float:
+    """``|V₊| / |V₋|`` for boolean labels (inf when one side is empty)."""
+    labels = np.asarray(labels, dtype=bool)
+    positive = int(labels.sum())
+    negative = labels.size - positive
+    if negative == 0:
+        return float("inf")
+    return positive / negative
+
+
+def cut_weight(graph: Graph, labels: np.ndarray) -> float:
+    """Total weight of edges crossing the partition."""
+    labels = np.asarray(labels, dtype=bool)
+    if labels.size != graph.n:
+        raise ValueError(f"labels must have length {graph.n}, got {labels.size}")
+    crossing = labels[graph.u] != labels[graph.v]
+    return float(graph.w[crossing].sum())
+
+
+def conductance(graph: Graph, labels: np.ndarray) -> float:
+    """Cut conductance ``w(cut) / min(vol(V₊), vol(V₋))``."""
+    labels = np.asarray(labels, dtype=bool)
+    degrees = graph.weighted_degrees()
+    vol_pos = float(degrees[labels].sum())
+    vol_neg = float(degrees[~labels].sum())
+    denominator = min(vol_pos, vol_neg)
+    if denominator == 0.0:
+        return float("inf")
+    return cut_weight(graph, labels) / denominator
+
+
+def partition_disagreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of vertices labelled differently, up to global sign flip.
+
+    The Fiedler vector's sign is arbitrary, so the paper's
+    ``Rel.Err. = |V_dif| / |V|`` (Table 3) is computed after aligning
+    the two partitions by the better of the two flips.
+    """
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    if a.shape != b.shape:
+        raise ValueError(f"label shapes differ: {a.shape} vs {b.shape}")
+    direct = float(np.mean(a != b))
+    flipped = float(np.mean(a == b))
+    return min(direct, flipped)

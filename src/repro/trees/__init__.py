@@ -1,0 +1,33 @@
+"""Spanning trees: construction, stretch analysis, LCA and exact solving."""
+
+from repro.trees.tree import RootedTree
+from repro.trees.spanning import (
+    DisjointSet,
+    kruskal,
+    maximum_weight_spanning_tree,
+    minimum_spanning_tree,
+    prim,
+)
+from repro.trees.lsst import akpw, low_stretch_tree, shortest_path_tree
+from repro.trees.lca import BinaryLiftingLCA
+from repro.trees.tarjan_lca import tarjan_offline_lca
+from repro.trees.stretch import StretchReport, edge_stretches, total_stretch
+from repro.trees.tree_solver import TreeSolver
+
+__all__ = [
+    "RootedTree",
+    "DisjointSet",
+    "kruskal",
+    "prim",
+    "minimum_spanning_tree",
+    "maximum_weight_spanning_tree",
+    "akpw",
+    "shortest_path_tree",
+    "low_stretch_tree",
+    "BinaryLiftingLCA",
+    "tarjan_offline_lca",
+    "StretchReport",
+    "edge_stretches",
+    "total_stretch",
+    "TreeSolver",
+]

@@ -1,0 +1,157 @@
+"""Classical spanning-tree algorithms (Kruskal, Prim, scipy fast path).
+
+The sparsifier backbone is a *low-stretch* spanning tree
+(:mod:`repro.trees.lsst`); the algorithms here provide the fast
+maximum-weight baseline (= minimum-resistance tree) and the reference
+implementations used to cross-check it.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graphs.graph import Graph
+from repro.graphs.components import is_connected
+
+__all__ = [
+    "DisjointSet",
+    "kruskal",
+    "prim",
+    "minimum_spanning_tree",
+    "maximum_weight_spanning_tree",
+]
+
+
+class DisjointSet:
+    """Union-find with union by rank and path halving."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self.count = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path halving)."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True when they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.count -= 1
+        return True
+
+
+def kruskal(graph: Graph, lengths: np.ndarray | None = None) -> np.ndarray:
+    """Kruskal's algorithm; returns canonical indices of an MST.
+
+    ``lengths`` defaults to ``1 / w`` so the *default* result is the
+    maximum-weight spanning tree — the natural electrical backbone
+    (edges of least resistance).
+    """
+    if not is_connected(graph):
+        raise ValueError("graph must be connected to have a spanning tree")
+    if lengths is None:
+        lengths = 1.0 / graph.w
+    lengths = np.asarray(lengths, dtype=np.float64)
+    if lengths.shape != (graph.num_edges,):
+        raise ValueError(
+            f"lengths must have shape ({graph.num_edges},), got {lengths.shape}"
+        )
+    order = np.argsort(lengths, kind="stable")
+    dsu = DisjointSet(graph.n)
+    chosen = np.empty(graph.n - 1, dtype=np.int64)
+    count = 0
+    for e in order:
+        if dsu.union(int(graph.u[e]), int(graph.v[e])):
+            chosen[count] = e
+            count += 1
+            if count == graph.n - 1:
+                break
+    return np.sort(chosen[:count])
+
+
+def prim(graph: Graph, lengths: np.ndarray | None = None, root: int = 0) -> np.ndarray:
+    """Prim's algorithm from ``root``; returns canonical MST edge indices.
+
+    Used as an independent oracle for Kruskal in the test suite.
+    """
+    if not is_connected(graph):
+        raise ValueError("graph must be connected to have a spanning tree")
+    if lengths is None:
+        lengths = 1.0 / graph.w
+    n, m = graph.n, graph.num_edges
+    # Build incident-edge lists in CSR-like form.
+    heads = np.concatenate([graph.u, graph.v])
+    tails = np.concatenate([graph.v, graph.u])
+    eids = np.tile(np.arange(m, dtype=np.int64), 2)
+    sort = np.argsort(heads, kind="stable")
+    heads, tails, eids = heads[sort], tails[sort], eids[sort]
+    indptr = np.searchsorted(heads, np.arange(n + 1))
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[root] = True
+    chosen: list[int] = []
+    heap: list[tuple[float, int, int]] = []
+
+    def push_edges(vertex: int) -> None:
+        for k in range(indptr[vertex], indptr[vertex + 1]):
+            if not in_tree[tails[k]]:
+                heapq.heappush(heap, (float(lengths[eids[k]]), int(eids[k]), int(tails[k])))
+
+    push_edges(root)
+    while heap and len(chosen) < n - 1:
+        _, eid, vertex = heapq.heappop(heap)
+        if in_tree[vertex]:
+            continue
+        in_tree[vertex] = True
+        chosen.append(eid)
+        push_edges(vertex)
+    if len(chosen) != n - 1:  # pragma: no cover - guarded by is_connected
+        raise RuntimeError("Prim failed to span the graph")
+    return np.sort(np.array(chosen, dtype=np.int64))
+
+
+def minimum_spanning_tree(graph: Graph, lengths: np.ndarray | None = None) -> np.ndarray:
+    """MST via scipy's C implementation; returns canonical edge indices.
+
+    Falls back on exact index recovery through the canonical edge keys,
+    so the result is directly usable as a tree mask.
+    """
+    if not is_connected(graph):
+        raise ValueError("graph must be connected to have a spanning tree")
+    if lengths is None:
+        lengths = 1.0 / graph.w
+    lengths = np.asarray(lengths, dtype=np.float64)
+    matrix = sp.csr_matrix(
+        (lengths, (graph.u, graph.v)), shape=(graph.n, graph.n)
+    )
+    tree = csgraph.minimum_spanning_tree(matrix + matrix.T).tocoo()
+    # The MST keeps one triangle; map each kept entry to its edge index.
+    idx = graph.edge_indices(tree.row.astype(np.int64), tree.col.astype(np.int64))
+    idx = np.unique(idx[idx >= 0])
+    if idx.size != graph.n - 1:  # pragma: no cover - scipy MST is exact
+        raise RuntimeError("scipy MST did not return a spanning tree")
+    return idx
+
+
+def maximum_weight_spanning_tree(graph: Graph) -> np.ndarray:
+    """Maximum-weight spanning tree = MST under lengths ``1 / w``.
+
+    This is the classical 'best conductance backbone' heuristic that the
+    low-stretch construction competes against.
+    """
+    return minimum_spanning_tree(graph, 1.0 / graph.w)

@@ -1,0 +1,166 @@
+"""Rooted spanning tree representation.
+
+A spanning tree of a :class:`~repro.graphs.Graph` is stored as the set of
+canonical edge indices plus derived parent/depth/order arrays produced by
+a BFS from the root.  Both the O(n) tree solver and the LCA/stretch
+machinery consume this structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graphs.graph import Graph
+
+__all__ = ["RootedTree"]
+
+
+class RootedTree:
+    """A rooted spanning tree over the vertices of a graph.
+
+    Attributes
+    ----------
+    n : int
+        Number of vertices.
+    root : int
+        Root vertex.
+    parent : ndarray
+        ``parent[v]`` is v's parent; ``-1`` at the root.
+    parent_weight : ndarray
+        Weight of the edge ``(v, parent[v])``; 0 at the root.
+    depth : ndarray
+        Hop distance from the root.
+    order : ndarray
+        Vertices in BFS order (every parent precedes its children).
+    edge_indices : ndarray
+        Canonical indices (into the source graph's edge arrays) of the
+        ``n - 1`` tree edges.
+    """
+
+    __slots__ = (
+        "n",
+        "root",
+        "parent",
+        "parent_weight",
+        "depth",
+        "order",
+        "edge_indices",
+        "_levels",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        root: int,
+        parent: np.ndarray,
+        parent_weight: np.ndarray,
+        depth: np.ndarray,
+        order: np.ndarray,
+        edge_indices: np.ndarray,
+    ) -> None:
+        self.n = n
+        self.root = root
+        self.parent = parent
+        self.parent_weight = parent_weight
+        self.depth = depth
+        self.order = order
+        self.edge_indices = edge_indices
+        self._levels: list[np.ndarray] | None = None
+
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, edge_indices: np.ndarray, root: int = 0
+    ) -> "RootedTree":
+        """Root the spanning tree given by canonical ``edge_indices``.
+
+        Raises if the edges do not form a spanning tree of the graph.
+        """
+        edge_indices = np.asarray(edge_indices, dtype=np.int64)
+        n = graph.n
+        if edge_indices.size != max(n - 1, 0):
+            raise ValueError(
+                f"spanning tree of {n} vertices needs {n - 1} edges, "
+                f"got {edge_indices.size}"
+            )
+        tu = graph.u[edge_indices]
+        tv = graph.v[edge_indices]
+        tw = graph.w[edge_indices]
+        adj = sp.csr_matrix(
+            (
+                np.concatenate([tw, tw]),
+                (np.concatenate([tu, tv]), np.concatenate([tv, tu])),
+            ),
+            shape=(n, n),
+        )
+        order, predecessors = csgraph.breadth_first_order(
+            adj, i_start=root, directed=False, return_predecessors=True
+        )
+        if order.size != n:
+            raise ValueError("edge set does not span the graph (disconnected)")
+        parent = predecessors.astype(np.int64)
+        parent[root] = -1
+        depth = np.zeros(n, dtype=np.int64)
+        for v in order[1:]:
+            depth[v] = depth[parent[v]] + 1
+        # Parent edge weights via canonical lookup.
+        parent_weight = np.zeros(n, dtype=np.float64)
+        non_root = order[1:]
+        idx = graph.edge_indices(non_root, parent[non_root])
+        if np.any(idx < 0):  # pragma: no cover - BFS edges exist by construction
+            raise RuntimeError("tree edge missing from graph")
+        parent_weight[non_root] = graph.w[idx]
+        return cls(
+            n,
+            root,
+            parent,
+            parent_weight,
+            depth,
+            order.astype(np.int64),
+            edge_indices,
+        )
+
+    # ------------------------------------------------------------------
+    def levels(self) -> list[np.ndarray]:
+        """Vertices grouped by depth, ``levels()[d]`` at depth ``d`` (cached)."""
+        if self._levels is None:
+            max_depth = int(self.depth.max()) if self.n else 0
+            order_by_depth = np.argsort(self.depth, kind="stable")
+            boundaries = np.searchsorted(
+                self.depth[order_by_depth], np.arange(max_depth + 2)
+            )
+            self._levels = [
+                order_by_depth[boundaries[d] : boundaries[d + 1]]
+                for d in range(max_depth + 1)
+            ]
+        return self._levels
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Number of vertices in each vertex's subtree (itself included)."""
+        sizes = np.ones(self.n, dtype=np.int64)
+        for level in reversed(self.levels()[1:]):
+            np.add.at(sizes, self.parent[level], sizes[level])
+        return sizes
+
+    def resistance_to_root(self) -> np.ndarray:
+        """Electrical resistance (sum of 1/w) along each root path."""
+        res = np.zeros(self.n, dtype=np.float64)
+        for level in self.levels()[1:]:
+            res[level] = res[self.parent[level]] + 1.0 / self.parent_weight[level]
+        return res
+
+    def depth_of(self) -> np.ndarray:
+        """Alias for the ``depth`` array (API symmetry)."""
+        return self.depth
+
+    def as_graph(self, graph: Graph) -> Graph:
+        """The spanning tree as a standalone :class:`Graph`."""
+        return graph.edge_subgraph(self.edge_indices)
+
+    def path_to_root(self, vertex: int) -> np.ndarray:
+        """Vertex sequence from ``vertex`` up to (and including) the root."""
+        path = [vertex]
+        while self.parent[path[-1]] >= 0:
+            path.append(int(self.parent[path[-1]]))
+        return np.array(path, dtype=np.int64)

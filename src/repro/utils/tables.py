@@ -1,0 +1,70 @@
+"""Plain-text table formatting for the experiment harness.
+
+The paper reports results in tables; :func:`format_table` renders the
+reproduced rows in a matching, monospace-friendly layout that the
+benchmark modules print and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_si"]
+
+
+def format_si(value: float, digits: int = 2) -> str:
+    """Format a number with an engineering suffix, e.g. ``1.6E6`` style.
+
+    Mirrors the paper's table notation (``1.6E6`` nodes etc.) for easy
+    side-by-side comparison.
+    """
+    if value == 0:
+        return "0"
+    magnitude = 0
+    v = abs(float(value))
+    while v >= 1000.0 and magnitude < 8:
+        v /= 1000.0
+        magnitude += 1
+    mantissa = f"{v:.{digits}g}"
+    if magnitude == 0:
+        return mantissa if value >= 0 else f"-{mantissa}"
+    exponent = 3 * magnitude
+    sign = "-" if value < 0 else ""
+    return f"{sign}{mantissa}E{exponent}"
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

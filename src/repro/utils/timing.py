@@ -1,0 +1,55 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable
+
+__all__ = ["Timer", "timed"]
+
+
+class Timer:
+    """Context manager measuring wall time with :func:`time.perf_counter`.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the start time (for manual lap timing)."""
+        self._start = time.perf_counter()
+
+    def lap(self) -> float:
+        """Seconds since construction/:meth:`restart` without stopping."""
+        if self._start is None:
+            raise RuntimeError("Timer was never started")
+        return time.perf_counter() - self._start
+
+
+def timed(func: Callable[..., Any]) -> Callable[..., tuple[Any, float]]:
+    """Decorator returning ``(result, elapsed_seconds)`` from ``func``."""
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> tuple[Any, float]:
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    return wrapper

@@ -1,0 +1,69 @@
+"""Input validation helpers shared by the numerical modules.
+
+All functions raise :class:`ValueError`/:class:`TypeError` with messages
+that name the offending argument, so failures surface at API boundaries
+instead of deep inside a solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "check_positive",
+    "check_probability",
+    "check_square",
+    "check_symmetric",
+    "check_vertex_count",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_vertex_count(n: int, minimum: int = 1) -> int:
+    """Require an integral vertex count of at least ``minimum``."""
+    if int(n) != n or n < minimum:
+        raise ValueError(f"vertex count must be an integer >= {minimum}, got {n!r}")
+    return int(n)
+
+
+def check_square(matrix: sp.spmatrix | np.ndarray, name: str = "matrix") -> None:
+    """Require a square 2-D matrix."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+
+
+def check_symmetric(
+    matrix: sp.spmatrix | np.ndarray,
+    name: str = "matrix",
+    tol: float = 1e-10,
+) -> None:
+    """Require (numerical) symmetry of a sparse or dense matrix."""
+    check_square(matrix, name)
+    if sp.issparse(matrix):
+        diff = (matrix - matrix.T).tocoo()
+        if diff.nnz and np.max(np.abs(diff.data)) > tol * max(1.0, _max_abs(matrix)):
+            raise ValueError(f"{name} is not symmetric within tolerance {tol}")
+    else:
+        arr = np.asarray(matrix)
+        scale = max(1.0, float(np.max(np.abs(arr))) if arr.size else 1.0)
+        if not np.allclose(arr, arr.T, atol=tol * scale, rtol=0.0):
+            raise ValueError(f"{name} is not symmetric within tolerance {tol}")
+
+
+def _max_abs(matrix: sp.spmatrix) -> float:
+    data = matrix.tocoo().data
+    return float(np.max(np.abs(data))) if data.size else 1.0

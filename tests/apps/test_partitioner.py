@@ -1,0 +1,61 @@
+"""Unit tests for the spectral partitioner application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import partition_graph
+from repro.graphs import generators
+from repro.spectral import partition_disagreement
+
+
+@pytest.fixture
+def mesh():
+    """Rectangular mesh with isolated Fiedler mode."""
+    return generators.grid2d(40, 14, weights="uniform", seed=3)
+
+
+class TestDirectPartitioner:
+    def test_balance_near_one_on_mesh(self, mesh):
+        report = partition_graph(mesh, method="direct", seed=0)
+        assert 0.8 <= report.balance <= 1.25
+
+    def test_memory_and_time_recorded(self, mesh):
+        report = partition_graph(mesh, method="direct", seed=0)
+        assert report.memory_bytes > 0
+        assert report.solve_seconds >= 0.0
+        assert report.method == "direct"
+
+
+class TestSparsifierPartitioner:
+    def test_agrees_with_direct(self, mesh):
+        direct = partition_graph(mesh, method="direct", seed=0)
+        iterative = partition_graph(mesh, method="sparsifier", sigma2=200.0, seed=0)
+        err = partition_disagreement(direct.labels, iterative.labels)
+        assert err <= 0.05  # the paper's Rel.Err column is <= a few %
+
+    def test_memory_below_direct(self):
+        """Table 3's M_I << M_D claim (needs a mesh with real fill-in)."""
+        g = generators.grid2d(45, 45, weights="uniform", seed=4)
+        direct = partition_graph(g, method="direct", seed=0)
+        iterative = partition_graph(g, method="sparsifier", sigma2=200.0, seed=0)
+        assert iterative.memory_bytes < direct.memory_bytes
+
+    def test_unknown_method_rejected(self, mesh):
+        with pytest.raises(ValueError, match="unknown method"):
+            partition_graph(mesh, method="metis")
+
+    def test_cut_quality_reasonable(self, mesh):
+        """Sign cut of the Fiedler vector yields a low-conductance cut."""
+        from repro.spectral import conductance
+
+        report = partition_graph(mesh, method="sparsifier", sigma2=200.0, seed=0)
+        assert conductance(mesh, report.labels) < 0.1
+
+    def test_two_community_graph_recovered(self):
+        pts = generators.gaussian_mixture_points(
+            240, dim=3, clusters=2, separation=8.0, seed=5
+        )
+        g = generators.knn_graph(pts, k=8)
+        report = partition_graph(g, method="sparsifier", sigma2=100.0, seed=0)
+        direct = partition_graph(g, method="direct", seed=0)
+        assert partition_disagreement(report.labels, direct.labels) < 0.02

@@ -1,0 +1,114 @@
+"""Unit tests for vectorless power-grid verification."""
+
+import numpy as np
+import pytest
+import scipy.optimize
+import scipy.sparse as sp
+
+from repro.apps.power_grid import (
+    VectorlessVerifier,
+    worst_case_drop,
+)
+from repro.graphs import generators
+
+
+class TestKnapsack:
+    def test_matches_linprog_oracle(self, rng):
+        """Greedy == LP optimum for box + budget constraints."""
+        n = 40
+        c = rng.standard_normal(n)
+        i_max = rng.uniform(0.0, 2.0, n)
+        budget = 5.0
+        greedy = worst_case_drop(c, i_max, budget)
+        # LP: maximize c @ i  <=>  minimize -c @ i.
+        lp = scipy.optimize.linprog(
+            -c,
+            A_ub=np.ones((1, n)),
+            b_ub=[budget],
+            bounds=list(zip(np.zeros(n), i_max)),
+            method="highs",
+        )
+        assert lp.status == 0
+        assert greedy == pytest.approx(-lp.fun, rel=1e-9, abs=1e-12)
+
+    def test_zero_budget_zero_drop(self, rng):
+        c = rng.random(10)
+        assert worst_case_drop(c, np.ones(10), 0.0) == 0.0
+
+    def test_budget_not_binding(self):
+        c = np.array([2.0, 1.0])
+        assert worst_case_drop(c, np.array([1.0, 1.0]), 10.0) == pytest.approx(3.0)
+
+    def test_budget_binding_takes_best_first(self):
+        c = np.array([2.0, 1.0])
+        assert worst_case_drop(c, np.array([1.0, 1.0]), 1.5) == pytest.approx(
+            2.0 * 1.0 + 1.0 * 0.5
+        )
+
+    def test_negative_coefficients_ignored(self):
+        c = np.array([-1.0, 3.0])
+        assert worst_case_drop(c, np.array([5.0, 1.0]), 10.0) == pytest.approx(3.0)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            worst_case_drop(np.ones(2), np.array([-1.0, 1.0]), 1.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="total_budget"):
+            worst_case_drop(np.ones(2), np.ones(2), -1.0)
+
+
+class TestVerifier:
+    @pytest.fixture
+    def grid(self):
+        return generators.circuit_grid(10, 10, layers=1, seed=5)
+
+    def test_pcg_matches_direct(self, grid):
+        pads = {0: 50.0, grid.n - 1: 50.0}
+        observed = np.array([grid.n // 2, grid.n // 3])
+        direct = VectorlessVerifier(grid, pads, mode="direct").verify(
+            observed, i_max=0.1, total_budget=1.0
+        )
+        pcg = VectorlessVerifier(grid, pads, mode="pcg", sigma2=50.0, seed=0).verify(
+            observed, i_max=0.1, total_budget=1.0, tol=1e-10
+        )
+        assert np.allclose(direct.drops, pcg.drops, rtol=1e-6)
+        assert pcg.pcg_iterations > 0
+
+    def test_drops_positive_and_monotone_in_budget(self, grid):
+        pads = {0: 50.0}
+        verifier = VectorlessVerifier(grid, pads, mode="direct")
+        observed = np.array([grid.n - 1])
+        small = verifier.verify(observed, i_max=0.1, total_budget=0.5)
+        large = verifier.verify(observed, i_max=0.1, total_budget=2.0)
+        assert small.drops[0] > 0
+        assert large.drops[0] >= small.drops[0]
+
+    def test_far_node_drops_more(self, grid):
+        """Nodes electrically farther from the pad see larger drops."""
+        pads = {0: 100.0}
+        verifier = VectorlessVerifier(grid, pads, mode="direct")
+        result = verifier.verify(
+            np.array([1, grid.n - 1]), i_max=0.05, total_budget=1.0
+        )
+        assert result.drops[1] > result.drops[0]
+
+    def test_worst_node_reported(self, grid):
+        pads = {0: 100.0}
+        result = VectorlessVerifier(grid, pads, mode="direct").verify(
+            np.array([1, grid.n - 1]), i_max=0.05, total_budget=1.0
+        )
+        assert result.worst_node == grid.n - 1
+        assert result.worst_drop == pytest.approx(result.drops.max())
+
+    def test_no_pads_rejected(self, grid):
+        with pytest.raises(ValueError, match="pad"):
+            VectorlessVerifier(grid, {})
+
+    def test_nonpositive_pad_rejected(self, grid):
+        with pytest.raises(ValueError, match="positive"):
+            VectorlessVerifier(grid, {0: 0.0})
+
+    def test_unknown_mode_rejected(self, grid):
+        with pytest.raises(ValueError, match="mode"):
+            VectorlessVerifier(grid, {0: 1.0}, mode="spice")

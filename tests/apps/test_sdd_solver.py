@@ -1,0 +1,76 @@
+"""Unit tests for the similarity-aware SDD solver application."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps import SimilarityAwareSolver
+from repro.graphs import generators
+
+
+@pytest.fixture
+def grid():
+    return generators.grid2d(30, 30, weights="uniform", seed=2)
+
+
+@pytest.fixture
+def rhs(grid, rng):
+    b = rng.standard_normal(grid.n)
+    return b - b.mean()
+
+
+class TestLaplacianSolve:
+    def test_converges_to_paper_tolerance(self, grid, rhs):
+        solver = SimilarityAwareSolver(grid, sigma2=50.0, seed=0)
+        report = solver.solve(rhs, tol=1e-3)
+        assert report.solve.converged
+        L = grid.laplacian()
+        residual = np.linalg.norm(L @ report.solve.x - rhs)
+        assert residual <= 1e-3 * np.linalg.norm(rhs) * 1.01
+
+    def test_table2_shape_n50_below_n200(self, grid, rhs):
+        """The paper's headline trade-off: tighter σ² => fewer iterations."""
+        n50 = SimilarityAwareSolver(grid, sigma2=50.0, seed=0).solve(rhs).iterations
+        n200 = SimilarityAwareSolver(grid, sigma2=200.0, seed=0).solve(rhs).iterations
+        assert n50 < n200
+
+    def test_table2_shape_density_ordering(self, grid):
+        d50 = SimilarityAwareSolver(grid, sigma2=50.0, seed=0).density
+        d200 = SimilarityAwareSolver(grid, sigma2=200.0, seed=0).density
+        assert d50 >= d200
+        assert 1.0 < d200 < 2.0  # ultra-sparse preconditioner
+
+    def test_factor_once_solve_many(self, grid, rng):
+        solver = SimilarityAwareSolver(grid, sigma2=50.0, seed=0)
+        for _ in range(3):
+            b = rng.standard_normal(grid.n)
+            b -= b.mean()
+            assert solver.solve(b, tol=1e-3).solve.converged
+
+    def test_report_fields(self, grid, rhs):
+        report = SimilarityAwareSolver(grid, sigma2=100.0, seed=0).solve(rhs)
+        assert report.sparsify_seconds >= 0.0
+        assert report.precondition_seconds >= 0.0
+        assert report.solve_seconds >= 0.0
+        assert report.sigma2 == 100.0
+        assert report.density > 1.0
+
+
+class TestSDDMatrixSolve:
+    def test_strictly_dominant_system(self, grid, rhs):
+        A = (grid.laplacian() + sp.diags(0.1 * np.ones(grid.n))).tocsr()
+        solver = SimilarityAwareSolver(A, sigma2=50.0, seed=0)
+        assert not solver.singular
+        report = solver.solve(rhs, tol=1e-8)
+        assert report.solve.converged
+        assert np.linalg.norm(A @ report.solve.x - rhs) <= 1e-7 * np.linalg.norm(rhs)
+
+    def test_laplacian_matrix_detected_singular(self, grid):
+        solver = SimilarityAwareSolver(grid.laplacian().tocsr(), sigma2=100.0, seed=0)
+        assert solver.singular
+
+    def test_amg_preconditioner_variant(self, grid, rhs):
+        solver = SimilarityAwareSolver(
+            grid, sigma2=50.0, precond_method="amg", seed=0
+        )
+        assert solver.solve(rhs, tol=1e-3).solve.converged

@@ -1,0 +1,78 @@
+"""Unit tests for connectivity utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    bfs_order,
+    bfs_tree_edges,
+    connected_components,
+    disjoint_union,
+    generators,
+    is_connected,
+    largest_component,
+)
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self, grid_small):
+        count, labels = connected_components(grid_small)
+        assert count == 1
+        assert np.all(labels == 0)
+
+    def test_disjoint_union_two_components(self, path5, cycle6):
+        g = disjoint_union(path5, cycle6)
+        count, labels = connected_components(g)
+        assert count == 2
+        assert len(np.unique(labels[:5])) == 1
+        assert len(np.unique(labels[5:])) == 1
+
+    def test_edgeless_graph(self):
+        count, labels = connected_components(Graph(4))
+        assert count == 4
+        assert np.array_equal(labels, np.arange(4))
+
+    def test_is_connected(self, grid_small, path5, cycle6):
+        assert is_connected(grid_small)
+        assert not is_connected(disjoint_union(path5, cycle6))
+
+    def test_single_vertex_connected(self):
+        assert is_connected(Graph(1))
+
+
+class TestLargestComponent:
+    def test_identity_when_connected(self, grid_small):
+        sub, vertices = largest_component(grid_small)
+        assert sub is grid_small
+        assert np.array_equal(vertices, np.arange(grid_small.n))
+
+    def test_keeps_bigger_piece(self, path5, cycle6):
+        g = disjoint_union(cycle6, path5)  # cycle first: vertices 0..5
+        sub, vertices = largest_component(g)
+        assert sub.n == 6
+        assert sub.num_edges == 6
+        assert np.array_equal(vertices, np.arange(6))
+
+    def test_vertex_map_valid(self, path5, cycle6):
+        g = disjoint_union(path5, cycle6)
+        sub, vertices = largest_component(g)
+        # Mapped edges must exist in the original graph.
+        assert np.all(g.has_edges(vertices[sub.u], vertices[sub.v]))
+
+
+class TestBFS:
+    def test_order_starts_at_source(self, grid_small):
+        order = bfs_order(grid_small, source=3)
+        assert order[0] == 3
+        assert order.size == grid_small.n
+
+    def test_tree_edges_span(self, grid_weighted):
+        idx = bfs_tree_edges(grid_weighted, source=0)
+        assert idx.size == grid_weighted.n - 1
+        tree = grid_weighted.edge_subgraph(idx)
+        assert is_connected(tree)
+
+    def test_tree_edges_unique(self, mesh_medium):
+        idx = bfs_tree_edges(mesh_medium)
+        assert len(np.unique(idx)) == idx.size

@@ -1,0 +1,182 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators, is_connected
+
+
+class TestElementary:
+    def test_path_edge_count(self):
+        g = generators.path_graph(10)
+        assert g.num_edges == 9 and is_connected(g)
+
+    def test_cycle_edge_count(self):
+        g = generators.cycle_graph(10)
+        assert g.num_edges == 10
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_star_degrees(self):
+        g = generators.star_graph(6)
+        assert g.unweighted_degrees()[0] == 5
+
+    def test_complete_edge_count(self):
+        g = generators.complete_graph(7)
+        assert g.num_edges == 21
+
+
+class TestGrids:
+    def test_grid2d_counts(self):
+        g = generators.grid2d(5, 7)
+        assert g.n == 35
+        assert g.num_edges == 4 * 7 + 5 * 6
+        assert is_connected(g)
+
+    def test_grid3d_counts(self):
+        g = generators.grid3d(3, 4, 5)
+        assert g.n == 60
+        assert g.num_edges == 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+
+    def test_triangulated_grid_has_diagonals(self):
+        base = generators.grid2d(6, 6)
+        tri = generators.triangulated_grid(6, 6)
+        assert tri.num_edges == base.num_edges + 25
+
+    def test_weight_schemes(self):
+        for scheme in ("unit", "uniform", "lognormal", 2.5):
+            g = generators.grid2d(4, 4, weights=scheme, seed=0)
+            assert np.all(g.w > 0)
+
+    def test_unknown_weight_scheme(self):
+        with pytest.raises(ValueError, match="unknown weight scheme"):
+            generators.grid2d(4, 4, weights="bogus")
+
+    def test_deterministic_with_seed(self):
+        a = generators.grid2d(5, 5, weights="uniform", seed=3)
+        b = generators.grid2d(5, 5, weights="uniform", seed=3)
+        assert a == b
+
+
+class TestFEMMeshes:
+    def test_fem_mesh_2d_connected(self):
+        g = generators.fem_mesh_2d(200, seed=1)
+        assert is_connected(g)
+
+    def test_fem_mesh_2d_graded(self):
+        g = generators.fem_mesh_2d(200, seed=1, graded=True)
+        assert is_connected(g)
+
+    def test_airfoil_connected(self):
+        g = generators.airfoil_mesh(800, seed=2)
+        assert is_connected(g)
+        assert g.n > 400  # most sampled points survive
+
+    def test_fem_mesh_3d_shapes(self):
+        for shape in ("cube", "annulus"):
+            g = generators.fem_mesh_3d(300, seed=3, shape=shape)
+            assert is_connected(g)
+
+    def test_fem_mesh_3d_bad_shape(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            generators.fem_mesh_3d(100, shape="sphere")
+
+    def test_shell_mesh_stencil(self):
+        g = generators.shell_mesh(10, 10, seed=4)
+        assert is_connected(g)
+        # Extended stencil: noticeably denser than a 4-neighbour grid.
+        assert g.num_edges > generators.grid2d(10, 10).num_edges * 2
+
+
+class TestPhysicalGraphs:
+    def test_circuit_grid_layers(self):
+        g = generators.circuit_grid(8, 8, layers=3, seed=5)
+        assert g.n == 192
+        assert is_connected(g)
+
+    def test_circuit_grid_single_layer(self):
+        g = generators.circuit_grid(6, 6, layers=1, seed=5)
+        assert g.n == 36
+
+    def test_circuit_grid_bad_layers(self):
+        with pytest.raises(ValueError, match="layers"):
+            generators.circuit_grid(4, 4, layers=0)
+
+    def test_thermal_stack_anisotropy(self):
+        iso = generators.grid3d(6, 6, 4, weights="uniform", seed=6, spread=0.3)
+        aniso = generators.thermal_stack(6, 6, 4, anisotropy=4.0, seed=6)
+        # Same topology, smaller total weight due to weakened z edges.
+        assert aniso.num_edges == iso.num_edges
+        assert aniso.total_weight < iso.total_weight
+
+    def test_ecology_grid_heterogeneous(self):
+        g = generators.ecology_grid(12, 12, seed=7)
+        assert is_connected(g)
+        assert g.w.max() / g.w.min() > 2.0
+
+    def test_protein_contact_connected(self):
+        g = generators.protein_contact_graph(200, seed=8)
+        assert is_connected(g)
+        assert g.num_edges >= g.n - 1
+
+
+class TestDataGraphs:
+    def test_knn_connected_despite_clusters(self):
+        pts = generators.gaussian_mixture_points(
+            300, clusters=5, separation=8.0, seed=9
+        )
+        g = generators.knn_graph(pts, k=6)
+        assert g.n == 300
+        assert is_connected(g)
+
+    def test_knn_unit_weights(self):
+        pts = generators.gaussian_mixture_points(100, seed=10)
+        g = generators.knn_graph(pts, k=5, weight="unit")
+        assert np.all(g.w == 1.0)
+
+    def test_knn_bad_k(self):
+        pts = generators.gaussian_mixture_points(50, seed=11)
+        with pytest.raises(ValueError, match="k must be"):
+            generators.knn_graph(pts, k=50)
+
+    def test_knn_bad_weight(self):
+        pts = generators.gaussian_mixture_points(50, seed=11)
+        with pytest.raises(ValueError, match="unknown weight"):
+            generators.knn_graph(pts, k=5, weight="bogus")
+
+    def test_barabasi_albert_heavy_tail(self):
+        g = generators.barabasi_albert(800, 3, seed=12)
+        assert is_connected(g)
+        deg = g.unweighted_degrees()
+        assert deg.max() > 5 * deg.mean()
+
+    def test_barabasi_albert_bad_attach(self):
+        with pytest.raises(ValueError, match="attach"):
+            generators.barabasi_albert(10, 10)
+
+    def test_erdos_renyi_exact_edges(self):
+        g = generators.erdos_renyi_gnm(100, 500, seed=13)
+        assert g.num_edges == 500
+        assert is_connected(g)
+
+    def test_erdos_renyi_bad_m(self):
+        with pytest.raises(ValueError, match="m must be"):
+            generators.erdos_renyi_gnm(10, 5)
+
+    def test_random_geometric_connected(self):
+        g = generators.random_geometric(300, seed=14)
+        assert is_connected(g)
+
+    def test_watts_strogatz(self):
+        g = generators.watts_strogatz(100, k=4, rewire=0.2, seed=15)
+        assert is_connected(g)
+
+    def test_watts_strogatz_odd_k_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            generators.watts_strogatz(20, k=3)
+
+    def test_gaussian_mixture_shape(self):
+        pts = generators.gaussian_mixture_points(64, dim=5, clusters=4, seed=16)
+        assert pts.shape == (64, 5)

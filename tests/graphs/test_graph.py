@@ -1,0 +1,188 @@
+"""Unit tests for the Graph container and its canonical edge form."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import Graph
+
+
+class TestCanonicalization:
+    def test_endpoints_ordered(self):
+        g = Graph(4, [3, 2], [0, 1], [1.0, 2.0])
+        assert np.all(g.u < g.v)
+
+    def test_edges_sorted_lexicographically(self):
+        g = Graph(5, [4, 0, 2], [3, 1, 1], [1.0, 1.0, 1.0])
+        keys = g.u * g.n + g.v
+        assert np.all(np.diff(keys) > 0)
+
+    def test_parallel_edges_merge_by_weight_sum(self):
+        g = Graph(3, [0, 1, 0], [1, 0, 1], [1.0, 2.0, 3.0])
+        assert g.num_edges == 1
+        assert g.w[0] == pytest.approx(6.0)
+
+    def test_self_loops_dropped(self):
+        g = Graph(3, [0, 1, 2], [0, 2, 2], [1.0, 1.0, 1.0])
+        assert g.num_edges == 1
+        assert (g.u[0], g.v[0]) == (1, 2)
+
+    def test_empty_graph(self):
+        g = Graph(3)
+        assert g.num_edges == 0
+        assert g.laplacian().shape == (3, 3)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Graph(2, [0], [1], [-1.0])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Graph(2, [0], [1], [0.0])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Graph(2, [0], [1], [np.nan])
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [0], [2], [1.0])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Graph(3, [0, 1], [1], [1.0])
+
+    def test_invalid_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+
+class TestConstructors:
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_edges == 3
+        assert np.all(g.w == 1.0)
+
+    def test_from_edges_empty(self):
+        g = Graph.from_edges(3, [])
+        assert g.num_edges == 0
+
+    def test_from_edges_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(m, 2\)"):
+            Graph.from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_from_sparse_symmetric(self, triangle):
+        g = Graph.from_sparse(triangle.adjacency())
+        assert g == triangle
+
+    def test_from_sparse_upper_triangle_only(self):
+        a = sp.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        g = Graph.from_sparse(a)
+        assert g.num_edges == 1
+        assert g.w[0] == pytest.approx(2.0)
+
+    def test_from_sparse_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            Graph.from_sparse(sp.csr_matrix((2, 3)))
+
+
+class TestMatrixViews:
+    def test_adjacency_symmetric(self, grid_weighted):
+        a = grid_weighted.adjacency()
+        assert (a != a.T).nnz == 0
+
+    def test_laplacian_row_sums_zero(self, grid_weighted):
+        sums = np.asarray(grid_weighted.laplacian().sum(axis=1)).ravel()
+        assert np.abs(sums).max() < 1e-12
+
+    def test_laplacian_matches_incidence_form(self, triangle):
+        B = triangle.incidence()
+        W = sp.diags(triangle.w)
+        L = (B.T @ W @ B).toarray()
+        assert np.allclose(L, triangle.laplacian().toarray())
+
+    def test_weighted_degrees_match_adjacency(self, grid_weighted):
+        deg = grid_weighted.weighted_degrees()
+        row_sums = np.asarray(grid_weighted.adjacency().sum(axis=1)).ravel()
+        assert np.allclose(deg, row_sums)
+
+    def test_unweighted_degrees(self, path5):
+        assert list(path5.unweighted_degrees()) == [1, 2, 2, 2, 1]
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight == pytest.approx(6.0)
+
+    def test_density(self, path5):
+        assert path5.density == pytest.approx(4 / 5)
+
+
+class TestEdgeQueries:
+    def test_has_edges_both_orientations(self, triangle):
+        assert bool(triangle.has_edges([1], [0])[0])
+        assert bool(triangle.has_edges([0], [1])[0])
+
+    def test_has_edges_absent(self, path5):
+        assert not bool(path5.has_edges([0], [4])[0])
+
+    def test_edge_indices_roundtrip(self, grid_weighted):
+        idx = grid_weighted.edge_indices(grid_weighted.u, grid_weighted.v)
+        assert np.array_equal(idx, np.arange(grid_weighted.num_edges))
+
+    def test_edge_indices_missing_is_minus_one(self, path5):
+        assert path5.edge_indices([0], [3])[0] == -1
+
+    def test_neighbors_sorted(self, grid_small):
+        nbrs = grid_small.neighbors(9)
+        assert np.all(np.diff(nbrs) > 0)
+        assert len(nbrs) == 4
+
+    def test_has_edges_empty_graph(self):
+        g = Graph(3)
+        assert not bool(g.has_edges([0], [1])[0])
+
+
+class TestDerivedGraphs:
+    def test_edge_subgraph_by_mask(self, triangle):
+        sub = triangle.edge_subgraph(np.array([True, False, True]))
+        assert sub.num_edges == 2
+        assert sub.n == 3
+
+    def test_edge_subgraph_by_indices(self, triangle):
+        sub = triangle.edge_subgraph(np.array([0, 2]))
+        assert sub.num_edges == 2
+
+    def test_edge_subgraph_wrong_mask_length(self, triangle):
+        with pytest.raises(ValueError, match="mask length"):
+            triangle.edge_subgraph(np.array([True, False]))
+
+    def test_with_edges_merges_duplicates(self, path5):
+        g = path5.with_edges(np.array([0]), np.array([1]), np.array([2.0]))
+        assert g.num_edges == path5.num_edges
+        assert g.w[0] == pytest.approx(3.0)
+
+    def test_with_edges_adds_new(self, path5):
+        g = path5.with_edges(np.array([0]), np.array([4]))
+        assert g.num_edges == path5.num_edges + 1
+
+    def test_reweighted(self, triangle):
+        g = triangle.reweighted(np.array([5.0, 5.0, 5.0]))
+        assert np.all(g.w == 5.0)
+        assert g.num_edges == 3
+
+    def test_reweighted_wrong_shape(self, triangle):
+        with pytest.raises(ValueError, match="weights"):
+            triangle.reweighted(np.array([1.0]))
+
+    def test_copy_independent(self, triangle):
+        c = triangle.copy()
+        assert c == triangle
+        c.w[0] = 99.0
+        assert triangle.w[0] == pytest.approx(1.0)
+
+    def test_equality(self, triangle):
+        assert triangle == Graph(3, [0, 0, 1], [1, 2, 2], [1.0, 2.0, 3.0])
+        assert triangle != Graph(3, [0, 0, 1], [1, 2, 2], [1.0, 2.0, 4.0])
+        assert triangle.__eq__(42) is NotImplemented
+
+    def test_repr(self, triangle):
+        assert repr(triangle) == "Graph(n=3, m=3)"

@@ -1,0 +1,110 @@
+"""Unit tests for graph and Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import Graph, generators
+from repro.graphs.io import (
+    load_graph_npz,
+    load_graph_matrix_market,
+    read_edge_list,
+    read_matrix_market,
+    save_graph_npz,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_symmetric_roundtrip(self, grid_weighted, tmp_path):
+        path = tmp_path / "grid.mtx"
+        write_matrix_market(path, grid_weighted.adjacency(), symmetric=True)
+        back = read_matrix_market(path)
+        assert np.allclose(
+            back.toarray(), grid_weighted.adjacency().toarray()
+        )
+
+    def test_general_roundtrip(self, tmp_path):
+        matrix = sp.random(6, 6, density=0.4, random_state=0).tocsr()
+        path = tmp_path / "general.mtx"
+        write_matrix_market(path, matrix, symmetric=False)
+        assert np.allclose(read_matrix_market(path).toarray(), matrix.toarray())
+
+    def test_pattern_file_gets_unit_weights(self):
+        text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 1\n"
+        matrix = read_matrix_market(io.StringIO(text))
+        assert matrix.nnz == 4  # symmetric expansion
+        assert np.all(matrix.tocoo().data == 1.0)
+
+    def test_comment_lines_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n2 2 1\n1 2 3.5\n"
+        )
+        matrix = read_matrix_market(io.StringIO(text))
+        assert matrix.toarray()[0, 1] == pytest.approx(3.5)
+
+    def test_skew_symmetric_expansion(self):
+        text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n"
+        matrix = read_matrix_market(io.StringIO(text)).toarray()
+        assert matrix[1, 0] == pytest.approx(4.0)
+        assert matrix[0, 1] == pytest.approx(-4.0)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(io.StringIO("garbage\n"))
+
+    def test_array_layout_rejected(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n"
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_complex_field_rejected(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_comment_written(self, tmp_path, triangle):
+        path = tmp_path / "c.mtx"
+        write_matrix_market(path, triangle.adjacency(), comment="hello\nworld")
+        content = path.read_text()
+        assert "% hello" in content and "% world" in content
+
+    def test_load_graph_applies_paper_rule(self, tmp_path, grid_weighted):
+        # Write the Laplacian; loading should recover the graph via the
+        # absolute-value-of-lower-triangle rule.
+        path = tmp_path / "lap.mtx"
+        write_matrix_market(path, grid_weighted.laplacian(), symmetric=True)
+        g = load_graph_matrix_market(path)
+        assert g == grid_weighted
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, grid_weighted):
+        path = tmp_path / "edges.txt"
+        write_edge_list(path, grid_weighted)
+        back = read_edge_list(path)
+        assert back == grid_weighted
+
+    def test_unweighted_lines_default_to_one(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert np.all(g.w == 1.0)
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=5)
+        assert g.n == 5
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        g = generators.fem_mesh_2d(120, seed=3)
+        path = tmp_path / "graph.npz"
+        save_graph_npz(path, g)
+        assert load_graph_npz(path) == g

@@ -1,0 +1,156 @@
+"""Unit tests for Laplacian algebra and SDD conversion."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import (
+    Graph,
+    graph_from_laplacian,
+    graph_from_matrix,
+    ground_matrix,
+    is_laplacian,
+    is_sdd,
+    laplacian,
+    normalized_laplacian,
+    project_out_ones,
+    sdd_split,
+)
+
+
+class TestLaplacian:
+    def test_row_sums_zero(self, grid_weighted):
+        sums = np.asarray(laplacian(grid_weighted).sum(axis=1)).ravel()
+        assert np.abs(sums).max() < 1e-12
+
+    def test_psd(self, triangle):
+        vals = np.linalg.eigvalsh(laplacian(triangle).toarray())
+        assert vals.min() > -1e-12
+
+    def test_null_space_is_ones(self, grid_small):
+        L = laplacian(grid_small).toarray()
+        assert np.abs(L @ np.ones(grid_small.n)).max() < 1e-12
+
+
+class TestGraphFromLaplacian:
+    def test_roundtrip(self, grid_weighted):
+        g = graph_from_laplacian(grid_weighted.laplacian())
+        assert g == grid_weighted
+
+    def test_positive_offdiagonal_rejected(self):
+        bad = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError, match="off-diagonal"):
+            graph_from_laplacian(bad)
+
+    def test_empty_laplacian(self):
+        g = graph_from_laplacian(sp.csr_matrix((3, 3)))
+        assert g.num_edges == 0
+
+
+class TestGraphFromMatrix:
+    def test_absolute_value_rule(self):
+        # Paper Section 4: edge weight = |lower-triangular entry|.
+        matrix = sp.csr_matrix(np.array([[2.0, -3.0], [-3.0, 2.0]]))
+        g = graph_from_matrix(matrix)
+        assert g.w[0] == pytest.approx(3.0)
+
+    def test_positive_offdiagonal_folded(self):
+        matrix = sp.csr_matrix(np.array([[2.0, 1.5], [1.5, 2.0]]))
+        g = graph_from_matrix(matrix)
+        assert g.w[0] == pytest.approx(1.5)
+
+    def test_diagonal_ignored(self):
+        matrix = sp.diags([1.0, 2.0, 3.0]).tocsr()
+        assert graph_from_matrix(matrix).num_edges == 0
+
+    def test_upper_triangle_only_matrix(self):
+        matrix = sp.csr_matrix(np.triu(np.ones((3, 3)), k=1))
+        g = graph_from_matrix(matrix)
+        assert g.num_edges == 3
+
+
+class TestSDDSplit:
+    def test_laplacian_gives_zero_slack(self, grid_weighted):
+        g, slack = sdd_split(grid_weighted.laplacian())
+        assert g == grid_weighted
+        assert np.all(slack == 0.0)
+
+    def test_slack_recovered(self, grid_small):
+        extra = np.linspace(0.1, 1.0, grid_small.n)
+        A = grid_small.laplacian() + sp.diags(extra)
+        g, slack = sdd_split(A.tocsr())
+        assert g == grid_small
+        assert np.allclose(slack, extra)
+
+    def test_non_dominant_rejected(self):
+        A = sp.csr_matrix(np.array([[0.5, -1.0], [-1.0, 0.5]]))
+        with pytest.raises(ValueError, match="diagonally dominant"):
+            sdd_split(A)
+
+    def test_asymmetric_rejected(self):
+        A = sp.csr_matrix(np.array([[1.0, -1.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError, match="symmetric"):
+            sdd_split(A)
+
+
+class TestPredicates:
+    def test_is_laplacian_true(self, grid_weighted):
+        assert is_laplacian(grid_weighted.laplacian())
+
+    def test_is_laplacian_false_for_sdd(self, grid_small):
+        A = grid_small.laplacian() + sp.eye(grid_small.n)
+        assert not is_laplacian(A.tocsr())
+
+    def test_is_sdd_accepts_laplacian(self, grid_small):
+        assert is_sdd(grid_small.laplacian())
+
+    def test_is_sdd_rejects_indefinite(self):
+        A = sp.csr_matrix(np.array([[0.1, -1.0], [-1.0, 0.1]]))
+        assert not is_sdd(A)
+
+    def test_is_sdd_rejects_asymmetric(self):
+        A = sp.csr_matrix(np.array([[2.0, -1.0], [0.0, 2.0]]))
+        assert not is_sdd(A)
+
+
+class TestGrounding:
+    def test_shape_reduced(self, grid_small):
+        reduced = ground_matrix(grid_small.laplacian(), 0)
+        assert reduced.shape == (grid_small.n - 1, grid_small.n - 1)
+
+    def test_reduced_is_positive_definite(self, grid_weighted):
+        reduced = ground_matrix(grid_weighted.laplacian(), 5)
+        vals = np.linalg.eigvalsh(reduced.toarray())
+        assert vals.min() > 0
+
+    def test_bad_vertex_rejected(self, grid_small):
+        with pytest.raises(ValueError, match="out of range"):
+            ground_matrix(grid_small.laplacian(), grid_small.n)
+
+
+class TestProjection:
+    def test_vector_mean_removed(self, rng):
+        x = rng.standard_normal(10) + 5.0
+        assert abs(project_out_ones(x).mean()) < 1e-12
+
+    def test_matrix_columns_mean_removed(self, rng):
+        X = rng.standard_normal((10, 3)) + 2.0
+        assert np.abs(project_out_ones(X).mean(axis=0)).max() < 1e-12
+
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(10)
+        once = project_out_ones(x)
+        assert np.allclose(project_out_ones(once), once)
+
+
+class TestNormalizedLaplacian:
+    def test_spectrum_in_unit_interval_times_two(self, grid_weighted):
+        N = normalized_laplacian(grid_weighted).toarray()
+        vals = np.linalg.eigvalsh(N)
+        assert vals.min() > -1e-10
+        assert vals.max() < 2.0 + 1e-10
+
+    def test_isolated_vertex_zero_row(self):
+        g = Graph(3, [0], [1], [1.0])
+        N = normalized_laplacian(g)
+        assert np.abs(N.toarray()[2]).max() == 0.0

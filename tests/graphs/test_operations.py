@@ -1,0 +1,102 @@
+"""Unit tests for structural graph operations."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    contract,
+    degree_statistics,
+    disjoint_union,
+    generators,
+    induced_subgraph,
+    relabel,
+    remove_edges,
+    union,
+)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, grid_small):
+        sub, vertices = induced_subgraph(grid_small, np.arange(8))  # first row
+        assert sub.n == 8
+        assert sub.num_edges == 7
+
+    def test_vertex_map(self, triangle):
+        sub, vertices = induced_subgraph(triangle, np.array([0, 2]))
+        assert sub.num_edges == 1
+        assert sub.w[0] == pytest.approx(2.0)
+        assert np.array_equal(vertices, np.array([0, 2]))
+
+    def test_out_of_range_rejected(self, triangle):
+        with pytest.raises(ValueError, match="out of range"):
+            induced_subgraph(triangle, np.array([0, 5]))
+
+
+class TestUnion:
+    def test_weights_sum_on_overlap(self, path5):
+        g = union(path5, path5)
+        assert g.num_edges == path5.num_edges
+        assert np.all(g.w == 2.0)
+
+    def test_size_mismatch_rejected(self, path5, cycle6):
+        with pytest.raises(ValueError, match="vertex counts"):
+            union(path5, cycle6)
+
+    def test_disjoint_union_offsets(self, path5, cycle6):
+        g = disjoint_union(path5, cycle6)
+        assert g.n == 11
+        assert g.num_edges == path5.num_edges + cycle6.num_edges
+
+
+class TestContract:
+    def test_two_clusters(self, grid_small):
+        labels = (np.arange(grid_small.n) % 2).astype(np.int64)
+        q = contract(grid_small, labels)
+        assert q.n == 2
+        assert q.num_edges == 1  # all crossing edges merge into one
+
+    def test_intra_cluster_edges_vanish(self, triangle):
+        q = contract(triangle, np.array([0, 0, 1]))
+        assert q.n == 2
+        assert q.num_edges == 1
+        assert q.w[0] == pytest.approx(2.0 + 3.0)
+
+    def test_wrong_label_shape_rejected(self, triangle):
+        with pytest.raises(ValueError, match="shape"):
+            contract(triangle, np.array([0, 1]))
+
+    def test_negative_labels_rejected(self, triangle):
+        with pytest.raises(ValueError, match="non-negative"):
+            contract(triangle, np.array([0, -1, 1]))
+
+
+class TestRelabel:
+    def test_laplacian_permuted(self, grid_weighted, rng):
+        perm = rng.permutation(grid_weighted.n)
+        g = relabel(grid_weighted, perm)
+        L0 = grid_weighted.laplacian().toarray()
+        L1 = g.laplacian().toarray()
+        assert np.allclose(L1[np.ix_(perm, perm)], L0)
+
+    def test_non_bijection_rejected(self, triangle):
+        with pytest.raises(ValueError, match="bijection"):
+            relabel(triangle, np.array([0, 0, 1]))
+
+
+class TestRemoveEdges:
+    def test_removal(self, triangle):
+        g = remove_edges(triangle, np.array([1]))
+        assert g.num_edges == 2
+        assert not bool(g.has_edges([0], [2])[0])
+
+
+class TestDegreeStatistics:
+    def test_path_statistics(self, path5):
+        stats = degree_statistics(path5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 2.0
+
+    def test_empty_graph(self):
+        stats = degree_statistics(Graph(3))
+        assert stats["max"] == 0.0

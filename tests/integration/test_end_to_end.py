@@ -1,0 +1,128 @@
+"""Integration tests: the full pipeline across subsystems.
+
+These tests tie together generators → LSST → embedding → filtering →
+densification → solver/partitioner/eigensolver exactly the way the
+paper's evaluation does, with exact dense references as ground truth.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps import SimilarityAwareSolver, partition_graph, simplify_network
+from repro.graphs import generators, sdd_split
+from repro.solvers import DirectSolver, pcg
+from repro.sparsify import (
+    exact_condition_number,
+    sparsify_graph,
+)
+from repro.spectral import (
+    exact_extreme_generalized_eigs,
+    partition_disagreement,
+)
+
+
+class TestSimilarityGuarantee:
+    """The headline contract: requested σ² is (approximately) delivered."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: generators.circuit_grid(12, 12, seed=61),
+            lambda: generators.ecology_grid(12, 12, seed=62),
+            lambda: generators.fem_mesh_2d(200, seed=63),
+            lambda: generators.knn_graph(
+                generators.gaussian_mixture_points(200, seed=64), k=8
+            ),
+        ],
+    )
+    def test_kappa_tracks_target(self, factory):
+        graph = factory()
+        for sigma2 in (30.0, 120.0):
+            result = sparsify_graph(graph, sigma2=sigma2, seed=0)
+            kappa = exact_condition_number(graph, result.sparsifier)
+            # The λmax estimator is a modest under-estimate, so allow 60%.
+            assert kappa <= 1.6 * sigma2
+            # And the sparsifier must stay non-trivially sparse unless the
+            # target forced near-complete recovery.
+            assert result.sparsifier.num_edges <= graph.num_edges
+
+    def test_estimates_bracket_exact(self):
+        graph = generators.circuit_grid(10, 10, seed=65)
+        result = sparsify_graph(graph, sigma2=80.0, seed=1)
+        lmin, lmax = exact_extreme_generalized_eigs(
+            graph.laplacian(), result.sparsifier.laplacian()
+        )
+        last = result.iterations[-1]
+        assert last.lambda_max <= lmax * 1.001
+        assert last.lambda_min >= lmin - 1e-9
+
+
+class TestSolverPipeline:
+    def test_pcg_iterations_scale_with_sigma(self):
+        """κ(L_G, L_P) controls PCG convergence — the σ² knob works."""
+        graph = generators.triangulated_grid(36, 36, weights="uniform", seed=66)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(graph.n)
+        b -= b.mean()
+        iters = {}
+        for sigma2 in (20.0, 400.0):
+            report = SimilarityAwareSolver(graph, sigma2=sigma2, seed=0).solve(
+                b, tol=1e-6
+            )
+            assert report.solve.converged
+            iters[sigma2] = report.iterations
+        assert iters[20.0] < iters[400.0]
+
+    def test_sdd_system_from_split_roundtrips(self):
+        """sdd_split + sparsifier preconditioner solve an external SDD system."""
+        graph = generators.grid2d(24, 24, weights="uniform", seed=67)
+        slack = np.linspace(0.0, 0.5, graph.n)
+        A = (graph.laplacian() + sp.diags(slack)).tocsr()
+        g2, s2 = sdd_split(A)
+        assert g2 == graph
+        solver = SimilarityAwareSolver(A, sigma2=50.0, seed=0)
+        b = np.sin(np.arange(graph.n))
+        report = solver.solve(b, tol=1e-8)
+        assert report.solve.converged
+        assert np.linalg.norm(A @ report.solve.x - b) <= 1e-7 * np.linalg.norm(b)
+
+
+class TestPartitionPipeline:
+    def test_direct_vs_iterative_agree_and_save_memory(self):
+        graph = generators.grid2d(48, 16, weights="uniform", seed=68)
+        direct = partition_graph(graph, method="direct", seed=0)
+        iterative = partition_graph(graph, method="sparsifier", sigma2=150.0, seed=0)
+        assert partition_disagreement(direct.labels, iterative.labels) <= 0.05
+        assert iterative.memory_bytes < direct.memory_bytes
+
+
+class TestNetworkPipeline:
+    def test_sparsified_fiedler_usable_directly(self):
+        """§4.3: 'if the sparsifier is a good approximation, its Fiedler
+        vector can be directly used for partitioning the original'."""
+        from repro.spectral import fiedler_vector, sign_cut
+
+        pts = generators.gaussian_mixture_points(
+            240, dim=3, clusters=2, separation=8.0, seed=69
+        )
+        graph = generators.knn_graph(pts, k=10)
+        result = sparsify_graph(graph, sigma2=60.0, seed=0)
+        fied_g = fiedler_vector(
+            graph.laplacian(), DirectSolver(graph.laplacian().tocsc()), seed=1
+        )
+        fied_p = fiedler_vector(
+            result.sparsifier.laplacian(),
+            DirectSolver(result.sparsifier.laplacian().tocsc()),
+            seed=1,
+        )
+        err = partition_disagreement(sign_cut(fied_g.vector), sign_cut(fied_p.vector))
+        assert err <= 0.02
+
+    def test_simplify_network_full_report(self):
+        graph = generators.erdos_renyi_gnm(500, 6000, seed=70)
+        report = simplify_network(graph, sigma2=100.0, seed=0)
+        assert report.edge_reduction > 3.0
+        assert report.lambda1_ratio > 10.0
+        assert report.eig_seconds_original > 0.0
+        assert report.eig_seconds_sparsified > 0.0

@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) for the graph container and Laplacians."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, graph_from_laplacian
+
+
+@st.composite
+def edge_lists(draw, max_n=24, max_m=60):
+    """Random (n, u, v, w) with arbitrary duplicates and orientations."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    u = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m)
+    )
+    v = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m)
+    )
+    w = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, np.array(u, dtype=np.int64), np.array(v, dtype=np.int64), np.array(w)
+
+
+class TestCanonicalInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_form(self, data):
+        n, u, v, w = data
+        g = Graph(n, u, v, w)
+        # Endpoints ordered, keys strictly increasing, no self loops.
+        assert np.all(g.u < g.v)
+        keys = g.u * np.int64(n) + g.v
+        assert np.all(np.diff(keys) > 0)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_total_weight_preserved(self, data):
+        n, u, v, w = data
+        g = Graph(n, u, v, w)
+        expected = float(w[u != v].sum())
+        assert abs(g.total_weight - expected) <= 1e-9 * max(expected, 1.0)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_laplacian_psd_and_singular(self, data):
+        n, u, v, w = data
+        g = Graph(n, u, v, w)
+        L = g.laplacian().toarray()
+        vals = np.linalg.eigvalsh(L)
+        assert vals.min() > -1e-8 * max(vals.max(), 1.0)
+        assert np.abs(L @ np.ones(n)).max() < 1e-9 * max(g.total_weight, 1.0)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_laplacian_roundtrip(self, data):
+        n, u, v, w = data
+        g = Graph(n, u, v, w)
+        g2 = graph_from_laplacian(g.laplacian())
+        assert g2.num_edges == g.num_edges
+        assert np.allclose(g2.w, g.w, rtol=1e-9)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_degrees_are_adjacency_row_sums(self, data):
+        n, u, v, w = data
+        g = Graph(n, u, v, w)
+        row_sums = np.asarray(g.adjacency().sum(axis=1)).ravel()
+        assert np.allclose(g.weighted_degrees(), row_sums)
+
+    @given(edge_lists(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_edge_subgraph_subset(self, data, seed):
+        n, u, v, w = data
+        g = Graph(n, u, v, w)
+        rng = np.random.default_rng(seed)
+        mask = rng.random(g.num_edges) < 0.5
+        sub = g.edge_subgraph(mask)
+        assert sub.num_edges == int(mask.sum())
+        if sub.num_edges:
+            assert np.all(g.has_edges(sub.u, sub.v))

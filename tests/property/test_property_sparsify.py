@@ -1,0 +1,71 @@
+"""Property-based tests for the sparsification pipeline invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparsify import (
+    exact_condition_number,
+    heat_threshold,
+    normalized_heats,
+    quadratic_form_ratios,
+    sparsify_graph,
+)
+
+from tests.property.test_property_trees import connected_graphs
+
+
+class TestThresholdProperties:
+    @given(
+        st.floats(min_value=1.01, max_value=1e6),
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=1e8),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_threshold_in_unit_interval(self, sigma2, lmin, lmax, t):
+        value = heat_threshold(sigma2, lmin, lmax, t=t)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=1e8),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_monotone_in_sigma2(self, lmin, lmax, t):
+        low = heat_threshold(2.0, lmin, lmax, t=t)
+        high = heat_threshold(200.0, lmin, lmax, t=t)
+        assert high >= low
+
+
+class TestNormalizationProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e12), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_in_unit_interval(self, heats):
+        norm = normalized_heats(np.array(heats))
+        assert np.all(norm >= 0.0)
+        assert np.all(norm <= 1.0 + 1e-12)
+
+
+class TestPipelineInvariants:
+    @given(connected_graphs(max_n=16), st.integers(min_value=0, max_value=10**4))
+    @settings(max_examples=12, deadline=None)
+    def test_sparsifier_subgraph_and_bounds(self, graph, seed):
+        result = sparsify_graph(graph, sigma2=50.0, seed=seed)
+        # Subgraph with original weights.
+        idx = graph.edge_indices(result.sparsifier.u, result.sparsifier.v)
+        assert np.all(idx >= 0)
+        assert np.allclose(result.sparsifier.w, graph.w[idx])
+        # Pencil bounds: every sampled Rayleigh quotient within exact extremes.
+        kappa = exact_condition_number(graph, result.sparsifier)
+        ratios = quadratic_form_ratios(graph, result.sparsifier,
+                                       num_samples=8, seed=seed)
+        assert np.all(ratios >= 1.0 - 1e-6)
+        assert np.all(ratios <= kappa * (1.0 + 1e-6))
+
+    @given(connected_graphs(max_n=14))
+    @settings(max_examples=10, deadline=None)
+    def test_monotone_in_sigma2(self, graph):
+        tight = sparsify_graph(graph, sigma2=5.0, seed=0)
+        loose = sparsify_graph(graph, sigma2=500.0, seed=0)
+        assert tight.sparsifier.num_edges >= loose.sparsifier.num_edges

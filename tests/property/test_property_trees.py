@@ -1,0 +1,77 @@
+"""Property-based tests for spanning trees, stretch and the tree solver."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, is_connected
+from repro.trees import (
+    RootedTree,
+    TreeSolver,
+    akpw,
+    edge_stretches,
+    kruskal,
+    low_stretch_tree,
+)
+
+
+@st.composite
+def connected_graphs(draw, max_n=20):
+    """Random connected graph: random tree backbone + extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    # Random recursive tree: parent[i] < i.
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)]
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = np.random.default_rng(seed)
+    eu = rng.integers(0, n, size=extra)
+    ev = rng.integers(0, n, size=extra)
+    u = np.concatenate([np.arange(1, n), eu])
+    v = np.concatenate([np.array(parents, dtype=np.int64), ev])
+    w = rng.uniform(0.1, 10.0, size=u.size)
+    return Graph(n, u, v, w)
+
+
+class TestSpanningTreeProperties:
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_akpw_spans(self, graph, seed):
+        idx = akpw(graph, seed=seed)
+        assert idx.size == graph.n - 1
+        assert is_connected(graph.edge_subgraph(idx))
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_kruskal_optimality_vs_scipy(self, graph):
+        from repro.trees import minimum_spanning_tree
+
+        lengths = 1.0 / graph.w
+        ours = lengths[kruskal(graph)].sum()
+        ref = lengths[minimum_spanning_tree(graph)].sum()
+        assert abs(ours - ref) <= 1e-9 * max(ref, 1.0)
+
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_stretch_invariants(self, graph, seed):
+        idx = low_stretch_tree(graph, method="akpw", seed=seed)
+        report = edge_stretches(graph, idx)
+        # Tree edges: exactly 1; off-tree: positive; total >= m_tree.
+        assert np.allclose(report.stretches[report.tree_mask], 1.0)
+        assert np.all(report.off_tree_stretches > 0)
+        assert report.total >= graph.n - 1 - 1e-9
+
+
+class TestTreeSolverProperties:
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_solver_inverts_tree_laplacian(self, graph, seed):
+        idx = low_stretch_tree(graph, method="maxw")
+        tree = RootedTree.from_graph(graph, idx)
+        solver = TreeSolver(tree)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(graph.n)
+        b -= b.mean()
+        x = solver.solve(b)
+        L = graph.edge_subgraph(idx).laplacian()
+        scale = max(1.0, float(np.abs(b).max()), float(np.abs(x).max()))
+        assert np.abs(L @ x - b).max() < 1e-6 * scale
+        assert abs(x.mean()) < 1e-9 * scale

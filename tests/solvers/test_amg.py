@@ -1,0 +1,115 @@
+"""Unit tests for the aggregation AMG hierarchy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import generators
+from repro.solvers import AMGSolver, heavy_edge_aggregates, pcg
+
+
+class TestAggregation:
+    def test_labels_cover_all_vertices(self, grid_weighted):
+        labels = heavy_edge_aggregates(grid_weighted.laplacian())
+        assert labels.shape == (grid_weighted.n,)
+        assert labels.min() >= 0
+
+    def test_coarsening_reduces_size(self, grid_weighted):
+        labels = heavy_edge_aggregates(grid_weighted.laplacian())
+        n_coarse = labels.max() + 1
+        assert n_coarse < grid_weighted.n
+        assert n_coarse >= grid_weighted.n // 4  # pairwise-ish matching
+
+    def test_diagonal_matrix_all_singletons(self):
+        D = sp.diags(np.ones(5)).tocsr()
+        labels = heavy_edge_aggregates(D)
+        assert len(np.unique(labels)) == 5
+
+    def test_heavy_pairs_merged(self):
+        """Dominant edges of a weighted path must be contracted pairwise."""
+        from repro.graphs import Graph
+
+        g = Graph(4, [0, 1, 2], [1, 2, 3], [100.0, 1.0, 100.0])
+        labels = heavy_edge_aggregates(g.laplacian())
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_straggler_adopts_strongest_neighbor(self):
+        """A vertex left unmatched joins its strongest neighbour's aggregate."""
+        from repro.graphs import Graph
+
+        g = Graph(3, [0, 1], [1, 2], [100.0, 1.0])
+        labels = heavy_edge_aggregates(g.laplacian())
+        assert labels[0] == labels[1] == labels[2]
+
+
+class TestHierarchy:
+    def test_multiple_levels_on_large_grid(self):
+        g = generators.grid2d(40, 40, seed=1)
+        amg = AMGSolver(g.laplacian(), coarse_size=50)
+        assert amg.num_levels >= 3
+
+    def test_galerkin_coarse_operators_are_laplacians(self):
+        g = generators.grid2d(20, 20, weights="uniform", seed=2)
+        amg = AMGSolver(g.laplacian(), coarse_size=20)
+        for level in amg.levels:
+            sums = np.asarray(level["A"].sum(axis=1)).ravel()
+            assert np.abs(sums).max() < 1e-9
+
+    def test_operator_bytes_positive(self, grid_weighted):
+        amg = AMGSolver(grid_weighted.laplacian())
+        assert amg.operator_bytes > 0
+
+    def test_invalid_omega(self, grid_small):
+        with pytest.raises(ValueError, match="omega"):
+            AMGSolver(grid_small.laplacian(), omega=2.5)
+
+    def test_small_problem_direct_only(self, path5):
+        amg = AMGSolver(path5.laplacian(), coarse_size=100)
+        assert amg.num_levels == 1
+
+
+class TestSolving:
+    def test_vcycle_reduces_residual(self, rng):
+        g = generators.grid2d(30, 30, weights="uniform", seed=3)
+        L = g.laplacian()
+        amg = AMGSolver(L)
+        b = rng.standard_normal(g.n)
+        b -= b.mean()
+        x = amg.solve(b)
+        assert np.linalg.norm(L @ x - b) < 0.7 * np.linalg.norm(b)
+
+    def test_pcg_preconditioner_fast_convergence(self, rng):
+        g = generators.grid2d(40, 40, weights="uniform", seed=4)
+        L = g.laplacian()
+        b = rng.standard_normal(g.n)
+        b -= b.mean()
+        amg = AMGSolver(L)
+        result = pcg(L, b, amg, tol=1e-8, maxiter=120, project_nullspace=True)
+        assert result.converged
+        assert result.iterations < 60
+
+    def test_nonsingular_sdd(self, rng):
+        g = generators.grid2d(20, 20, seed=5)
+        A = (g.laplacian() + sp.diags(0.2 * np.ones(g.n))).tocsr()
+        amg = AMGSolver(A)
+        assert not amg.singular
+        b = rng.standard_normal(g.n)
+        result = pcg(A, b, amg, tol=1e-9, maxiter=200)
+        assert result.converged
+
+    def test_multi_rhs(self, grid_weighted, rng):
+        amg = AMGSolver(grid_weighted.laplacian())
+        B = rng.standard_normal((grid_weighted.n, 3))
+        X = amg.solve(B)
+        assert X.shape == B.shape
+
+    def test_multiple_cycles_stronger(self, rng):
+        g = generators.grid2d(25, 25, weights="uniform", seed=6)
+        L = g.laplacian()
+        b = rng.standard_normal(g.n)
+        b -= b.mean()
+        one = AMGSolver(L, cycles=1).solve(b)
+        three = AMGSolver(L, cycles=3).solve(b)
+        assert np.linalg.norm(L @ three - b) < np.linalg.norm(L @ one - b)

@@ -1,0 +1,113 @@
+"""Unit tests for the CG/PCG engine."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import generators
+from repro.solvers import conjugate_gradient, jacobi_preconditioner, pcg
+
+
+@pytest.fixture
+def spd_system(rng):
+    """Random well-conditioned SPD system."""
+    n = 40
+    M = rng.standard_normal((n, n))
+    A = sp.csr_matrix(M @ M.T + n * np.eye(n))
+    b = rng.standard_normal(n)
+    return A, b
+
+
+class TestPlainCG:
+    def test_solves_spd(self, spd_system):
+        A, b = spd_system
+        result = conjugate_gradient(A, b, tol=1e-10, maxiter=500)
+        assert result.converged
+        assert np.linalg.norm(A @ result.x - b) <= 1e-9 * np.linalg.norm(b)
+
+    def test_exact_in_n_iterations(self, spd_system):
+        A, b = spd_system
+        result = conjugate_gradient(A, b, tol=1e-12, maxiter=A.shape[0] + 5)
+        assert result.converged
+
+    def test_residual_history_recorded(self, spd_system):
+        A, b = spd_system
+        result = conjugate_gradient(A, b, tol=1e-8)
+        assert len(result.residual_norms) == result.iterations + 1
+        assert result.final_residual <= 1e-8 * np.linalg.norm(b)
+
+    def test_zero_rhs(self, spd_system):
+        A, _ = spd_system
+        result = conjugate_gradient(A, np.zeros(A.shape[0]))
+        assert result.converged
+        assert result.iterations == 0
+        assert np.all(result.x == 0.0)
+
+    def test_initial_guess(self, spd_system):
+        A, b = spd_system
+        exact = conjugate_gradient(A, b, tol=1e-12).x
+        warm = conjugate_gradient(A, b, tol=1e-12, x0=exact)
+        assert warm.iterations == 0
+
+    def test_maxiter_respected(self, spd_system):
+        A, b = spd_system
+        result = conjugate_gradient(A, b, tol=1e-16, maxiter=3)
+        assert not result.converged
+        assert result.iterations == 3
+
+
+class TestPCG:
+    def test_jacobi_accelerates_scaled_system(self, rng):
+        # Badly diagonally scaled SPD system: Jacobi helps a lot.
+        n = 80
+        scale = np.logspace(0, 4, n)
+        g = generators.path_graph(n, weights="uniform", seed=1)
+        A = (g.laplacian() + sp.eye(n)).multiply(np.outer(scale, scale)).tocsr()
+        b = rng.standard_normal(n)
+        plain = conjugate_gradient(A, b, tol=1e-8, maxiter=2000)
+        jacobi = pcg(A, b, jacobi_preconditioner(A), tol=1e-8, maxiter=2000)
+        assert jacobi.converged
+        assert jacobi.iterations < plain.iterations
+
+    def test_laplacian_with_projection(self, grid_weighted, rng):
+        L = grid_weighted.laplacian()
+        b = rng.standard_normal(grid_weighted.n)
+        b -= b.mean()
+        result = pcg(L, b, tol=1e-8, maxiter=2000, project_nullspace=True)
+        assert result.converged
+        assert np.linalg.norm(L @ result.x - b) <= 1e-7 * np.linalg.norm(b)
+        assert abs(result.x.mean()) < 1e-10
+
+    def test_callable_operator(self, spd_system):
+        A, b = spd_system
+        result = pcg(lambda x: A @ x, b, tol=1e-8)
+        assert result.converged
+
+    def test_matvec_object(self, spd_system):
+        import scipy.sparse.linalg as spla
+
+        A, b = spd_system
+        op = spla.aslinearoperator(A)
+        result = pcg(op, b, tol=1e-8)
+        assert result.converged
+
+    def test_invalid_tol(self, spd_system):
+        A, b = spd_system
+        with pytest.raises(ValueError, match="tol"):
+            pcg(A, b, tol=0.0)
+
+    def test_invalid_maxiter(self, spd_system):
+        A, b = spd_system
+        with pytest.raises(ValueError, match="maxiter"):
+            pcg(A, b, maxiter=0)
+
+    def test_invalid_operator_type(self, spd_system):
+        _, b = spd_system
+        with pytest.raises(TypeError, match="linear operator"):
+            pcg("not an operator", b)
+
+    def test_indefinite_breakdown_detected(self, rng):
+        A = sp.csr_matrix(np.diag([1.0, -1.0, 1.0]))
+        b = np.array([1.0, 1.0, 1.0])
+        result = pcg(A, b, tol=1e-10, maxiter=10)
+        assert not result.converged

@@ -1,0 +1,98 @@
+"""Unit tests for the preconditioner factory."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import generators
+from repro.solvers import (
+    conjugate_gradient,
+    factorized_preconditioner,
+    identity_preconditioner,
+    jacobi_preconditioner,
+    pcg,
+    sparsifier_preconditioner,
+    tree_preconditioner,
+)
+from repro.sparsify import sparsify_graph
+from repro.trees import low_stretch_tree
+
+
+@pytest.fixture
+def laplacian_system(rng):
+    g = generators.grid2d(30, 30, weights="uniform", seed=8)
+    b = rng.standard_normal(g.n)
+    b -= b.mean()
+    return g, g.laplacian(), b
+
+
+class TestIdentity:
+    def test_noop(self, rng):
+        M = identity_preconditioner()
+        r = rng.standard_normal(7)
+        assert np.array_equal(M(r), r)
+
+
+class TestJacobi:
+    def test_applies_inverse_diagonal(self, triangle):
+        L = triangle.laplacian() + sp.eye(3)
+        M = jacobi_preconditioner(L.tocsr())
+        r = np.ones(3)
+        assert np.allclose(M(r), 1.0 / L.diagonal())
+
+    def test_nonpositive_diagonal_rejected(self):
+        A = sp.diags([1.0, 0.0, 2.0]).tocsr()
+        with pytest.raises(ValueError, match="positive diagonal"):
+            jacobi_preconditioner(A)
+
+
+class TestTreePreconditioner:
+    def test_pcg_converges(self, laplacian_system):
+        g, L, b = laplacian_system
+        M = tree_preconditioner(g, low_stretch_tree(g, seed=0))
+        result = pcg(L, b, M, tol=1e-8, maxiter=3000, project_nullspace=True)
+        assert result.converged
+
+
+class TestFactorized:
+    def test_exact_preconditioner_one_iteration(self, laplacian_system):
+        _, L, b = laplacian_system
+        M = factorized_preconditioner(L.tocsc())
+        result = pcg(L, b, M, tol=1e-10, maxiter=10, project_nullspace=True)
+        assert result.converged
+        assert result.iterations <= 2
+
+
+class TestSparsifierPreconditioner:
+    def test_beats_plain_cg(self, laplacian_system):
+        g, L, b = laplacian_system
+        sparsifier = sparsify_graph(g, sigma2=50.0, seed=0).sparsifier
+        M = sparsifier_preconditioner(sparsifier, method="cholesky")
+        plain = conjugate_gradient(L, b, tol=1e-6, maxiter=3000,
+                                   project_nullspace=True)
+        precond = pcg(L, b, M, tol=1e-6, maxiter=3000, project_nullspace=True)
+        assert precond.converged
+        assert precond.iterations < 0.5 * plain.iterations
+
+    def test_amg_method(self, laplacian_system):
+        g, L, b = laplacian_system
+        sparsifier = sparsify_graph(g, sigma2=50.0, seed=0).sparsifier
+        M = sparsifier_preconditioner(sparsifier, method="amg")
+        result = pcg(L, b, M, tol=1e-6, maxiter=500, project_nullspace=True)
+        assert result.converged
+
+    def test_slack_carried_into_preconditioner(self, laplacian_system, rng):
+        g, L, _ = laplacian_system
+        slack = 0.5 * np.ones(g.n)
+        A = (L + sp.diags(slack)).tocsr()
+        sparsifier = sparsify_graph(g, sigma2=50.0, seed=0).sparsifier
+        M = sparsifier_preconditioner(sparsifier, method="cholesky", slack=slack)
+        b = rng.standard_normal(g.n)
+        result = pcg(A, b, M, tol=1e-8, maxiter=200)
+        assert result.converged
+
+    def test_unknown_method_rejected(self, laplacian_system):
+        g, _, _ = laplacian_system
+        sparsifier = sparsify_graph(g, sigma2=100.0, seed=0).sparsifier
+        with pytest.raises(ValueError, match="unknown preconditioner"):
+            sparsifier_preconditioner(sparsifier, method="qr")

@@ -1,0 +1,71 @@
+"""Unit tests for the dissimilar-edge selection (§3.7 step 6)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, generators
+from repro.sparsify import select_dissimilar
+
+
+@pytest.fixture
+def fan_graph():
+    """Vertices 0..5; candidate edges share endpoints in pairs."""
+    #   candidates (by canonical index): (0,1), (0,2), (1,2), (3,4), (3,5)
+    return Graph(6, [0, 0, 1, 3, 3], [1, 2, 2, 4, 5], np.ones(5))
+
+
+class TestEndpointMode:
+    def test_skips_edge_with_both_endpoints_marked(self, fan_graph):
+        # Order: (0,1) first marks 0,1; (0,2) marks 2; (1,2) both marked -> skip.
+        order = np.array([0, 1, 2])
+        chosen = select_dissimilar(fan_graph, order, mode="endpoint")
+        assert list(chosen) == [0, 1]
+
+    def test_disjoint_edges_all_kept(self, fan_graph):
+        order = np.array([0, 3])
+        chosen = select_dissimilar(fan_graph, order, mode="endpoint")
+        assert list(chosen) == [0, 3]
+
+    def test_max_edges_cap(self, fan_graph):
+        order = np.array([0, 3, 4])
+        chosen = select_dissimilar(fan_graph, order, max_edges=2, mode="endpoint")
+        assert chosen.size == 2
+
+    def test_processing_order_matters(self, fan_graph):
+        """The highest-heat (first) edge always wins its neighbourhood."""
+        chosen = select_dissimilar(fan_graph, np.array([2, 0, 1]), mode="endpoint")
+        assert chosen[0] == 2
+
+    def test_empty_candidates(self, fan_graph):
+        chosen = select_dissimilar(fan_graph, np.array([], dtype=np.int64))
+        assert chosen.size == 0
+
+
+class TestOtherModes:
+    def test_none_mode_passthrough(self, fan_graph):
+        order = np.array([0, 1, 2, 3, 4])
+        chosen = select_dissimilar(fan_graph, order, mode="none")
+        assert np.array_equal(chosen, order)
+
+    def test_none_mode_with_cap(self, fan_graph):
+        chosen = select_dissimilar(fan_graph, np.arange(5), max_edges=3, mode="none")
+        assert chosen.size == 3
+
+    def test_neighborhood_mode_sparser(self, grid_weighted):
+        """Neighbourhood marking selects a subset of endpoint marking."""
+        candidates = np.arange(grid_weighted.num_edges)
+        endpoint = select_dissimilar(grid_weighted, candidates, mode="endpoint")
+        neighborhood = select_dissimilar(grid_weighted, candidates, mode="neighborhood")
+        assert neighborhood.size <= endpoint.size
+
+    def test_unknown_mode(self, fan_graph):
+        with pytest.raises(ValueError, match="similarity mode"):
+            select_dissimilar(fan_graph, np.array([0]), mode="bogus")
+
+
+class TestAtScale:
+    def test_selection_bounded_by_vertex_count(self, mesh_medium):
+        """Endpoint marking can keep at most ~n edges per round."""
+        candidates = np.arange(mesh_medium.num_edges)
+        chosen = select_dissimilar(mesh_medium, candidates, mode="endpoint")
+        assert chosen.size <= mesh_medium.n

@@ -1,0 +1,69 @@
+"""Unit tests for effective resistance computation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.sparsify import (
+    approx_effective_resistances,
+    exact_effective_resistances,
+)
+
+
+class TestExact:
+    def test_path_graph_closed_form(self):
+        """Series resistors: R(0, k) = sum of 1/w along the path."""
+        g = generators.path_graph(6, weights=2.0)
+        pairs = np.array([[0, 1], [0, 3], [0, 5]])
+        values = exact_effective_resistances(g, pairs)
+        assert np.allclose(values, [0.5, 1.5, 2.5])
+
+    def test_cycle_closed_form(self):
+        """Parallel paths: R = (a*b)/(a+b) with unit edges."""
+        g = generators.cycle_graph(8)
+        values = exact_effective_resistances(g, np.array([[0, 4]]))
+        assert values[0] == pytest.approx(4 * 4 / 8)
+
+    def test_fosters_theorem(self, grid_weighted):
+        """Foster: Σ_e w_e R_eff(e) = n − 1."""
+        values = exact_effective_resistances(grid_weighted)
+        total = float((grid_weighted.w * values).sum())
+        assert total == pytest.approx(grid_weighted.n - 1, rel=1e-8)
+
+    def test_default_pairs_are_edges(self, triangle):
+        values = exact_effective_resistances(triangle)
+        assert values.shape == (3,)
+
+    def test_batching_consistent(self, grid_weighted):
+        full = exact_effective_resistances(grid_weighted, batch_size=10**9)
+        batched = exact_effective_resistances(grid_weighted, batch_size=7)
+        assert np.allclose(full, batched)
+
+    def test_resistance_bounded_by_direct_edge(self, grid_weighted):
+        """R_eff(u,v) <= 1/w(u,v) for every edge (parallel paths help)."""
+        values = exact_effective_resistances(grid_weighted)
+        assert np.all(values <= 1.0 / grid_weighted.w + 1e-12)
+
+
+class TestApproximate:
+    def test_within_epsilon_mostly(self, grid_weighted):
+        exact = exact_effective_resistances(grid_weighted)
+        approx = approx_effective_resistances(grid_weighted, epsilon=0.2, seed=0)
+        rel = np.abs(approx - exact) / exact
+        # JL guarantee is probabilistic; check the bulk.
+        assert np.median(rel) < 0.2
+        assert rel.max() < 0.6
+
+    def test_foster_sum_approximately(self, grid_weighted):
+        approx = approx_effective_resistances(grid_weighted, epsilon=0.2, seed=1)
+        total = float((grid_weighted.w * approx).sum())
+        assert total == pytest.approx(grid_weighted.n - 1, rel=0.15)
+
+    def test_invalid_epsilon(self, grid_weighted):
+        with pytest.raises(ValueError, match="epsilon"):
+            approx_effective_resistances(grid_weighted, epsilon=1.5)
+
+    def test_deterministic_given_seed(self, grid_small):
+        a = approx_effective_resistances(grid_small, seed=3)
+        b = approx_effective_resistances(grid_small, seed=3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,82 @@
+"""Unit tests for θ_σ edge filtering (Eq. 15)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsify import filter_edges, heat_threshold, normalized_heats
+
+
+class TestThreshold:
+    def test_formula(self):
+        # (sigma2 * lmin / lmax)^(2t+1) with t=2 -> power 5.
+        value = heat_threshold(10.0, 1.0, 100.0, t=2)
+        assert value == pytest.approx(0.1**5)
+
+    def test_t_one_power_three(self):
+        assert heat_threshold(10.0, 1.0, 100.0, t=1) == pytest.approx(0.1**3)
+
+    def test_clipped_at_one_when_target_met(self):
+        # sigma2 * lmin >= lmax -> no edges needed.
+        assert heat_threshold(100.0, 1.0, 50.0) == 1.0
+
+    def test_monotone_in_sigma2(self):
+        weak = heat_threshold(400.0, 1.0, 1000.0)
+        strong = heat_threshold(4.0, 1.0, 1000.0)
+        assert strong < weak
+
+    def test_invalid_sigma2(self):
+        with pytest.raises(ValueError, match="sigma2"):
+            heat_threshold(0.0, 1.0, 10.0)
+
+    def test_invalid_eigenvalues(self):
+        with pytest.raises(ValueError, match="estimates"):
+            heat_threshold(10.0, -1.0, 10.0)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError, match="t must be"):
+            heat_threshold(10.0, 1.0, 100.0, t=0)
+
+
+class TestNormalization:
+    def test_max_is_one(self, rng):
+        heats = rng.random(20)
+        norm = normalized_heats(heats)
+        assert norm.max() == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert normalized_heats(np.array([])).size == 0
+
+    def test_all_zero(self):
+        norm = normalized_heats(np.zeros(5))
+        assert np.all(norm == 0.0)
+
+
+class TestFilterEdges:
+    def test_passing_sorted_by_heat(self, rng):
+        heats = rng.random(50)
+        decision = filter_edges(heats, 0.3)
+        passing_heats = heats[decision.passing]
+        assert np.all(np.diff(passing_heats) <= 1e-15)
+
+    def test_threshold_respected(self, rng):
+        heats = rng.random(50)
+        decision = filter_edges(heats, 0.5)
+        norm = heats / heats.max()
+        assert np.all(norm[decision.passing] >= 0.5)
+        excluded = np.setdiff1d(np.arange(50), decision.passing)
+        assert np.all(norm[excluded] < 0.5)
+
+    def test_threshold_one_passes_nothing(self, rng):
+        decision = filter_edges(rng.random(10), 1.0)
+        assert decision.passing.size == 0
+
+    def test_zero_threshold_passes_everything(self, rng):
+        heats = rng.random(10)
+        decision = filter_edges(heats, 0.0)
+        assert decision.passing.size == 10
+
+    def test_decision_records_inputs(self, rng):
+        heats = rng.random(10)
+        decision = filter_edges(heats, 0.25)
+        assert decision.threshold == 0.25
+        assert decision.normalized.shape == (10,)

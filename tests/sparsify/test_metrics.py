@@ -1,0 +1,77 @@
+"""Unit tests for similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.sparsify import (
+    SimilarityEstimate,
+    estimate_condition_number,
+    exact_condition_number,
+    quadratic_form_ratios,
+    sparsify_graph,
+)
+
+
+class TestExactConditionNumber:
+    def test_graph_with_itself_is_one(self, grid_weighted):
+        assert exact_condition_number(grid_weighted, grid_weighted) == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_subgraph_at_least_one(self, grid_weighted):
+        result = sparsify_graph(grid_weighted, sigma2=100.0, seed=0)
+        assert exact_condition_number(grid_weighted, result.sparsifier) >= 1.0
+
+
+class TestEstimate:
+    def test_within_exact_extremes(self, grid_weighted):
+        from repro.spectral import exact_extreme_generalized_eigs
+
+        result = sparsify_graph(grid_weighted, sigma2=100.0, seed=0)
+        est = estimate_condition_number(
+            grid_weighted, result.sparsifier, power_iterations=12, seed=0
+        )
+        lmin, lmax = exact_extreme_generalized_eigs(
+            grid_weighted.laplacian(), result.sparsifier.laplacian()
+        )
+        assert est.lambda_max <= lmax * (1 + 1e-9)
+        assert est.lambda_min >= lmin - 1e-9
+
+    def test_sigma_is_sqrt_kappa(self):
+        est = SimilarityEstimate(lambda_max=100.0, lambda_min=4.0)
+        assert est.condition_number == pytest.approx(25.0)
+        assert est.sigma == pytest.approx(5.0)
+
+    def test_custom_solver_accepted(self, grid_weighted):
+        from repro.solvers import DirectSolver
+
+        result = sparsify_graph(grid_weighted, sigma2=100.0, seed=0)
+        solver = DirectSolver(result.sparsifier.laplacian().tocsc())
+        est = estimate_condition_number(
+            grid_weighted, result.sparsifier, solver=solver, seed=0
+        )
+        assert est.condition_number >= 1.0
+
+
+class TestQuadraticFormRatios:
+    def test_bounded_by_exact_extremes(self, grid_weighted):
+        from repro.spectral import exact_extreme_generalized_eigs
+
+        result = sparsify_graph(grid_weighted, sigma2=50.0, seed=0)
+        lmin, lmax = exact_extreme_generalized_eigs(
+            grid_weighted.laplacian(), result.sparsifier.laplacian()
+        )
+        ratios = quadratic_form_ratios(
+            grid_weighted, result.sparsifier, num_samples=64, seed=2
+        )
+        assert ratios.min() >= lmin - 1e-9
+        assert ratios.max() <= lmax + 1e-9
+
+    def test_identity_pencil_all_ones(self, grid_small):
+        ratios = quadratic_form_ratios(grid_small, grid_small, num_samples=16, seed=0)
+        assert np.allclose(ratios, 1.0)
+
+    def test_invalid_samples(self, grid_small):
+        with pytest.raises(ValueError, match="num_samples"):
+            quadratic_form_ratios(grid_small, grid_small, num_samples=0)

@@ -1,0 +1,73 @@
+"""Unit tests for incremental sparsifier refinement (§3.1c)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.sparsify import (
+    densify,
+    exact_condition_number,
+    refine_sparsifier,
+    sparsify_graph,
+)
+from repro.trees import low_stretch_tree
+
+
+@pytest.fixture(scope="module")
+def coarse():
+    graph = generators.circuit_grid(14, 14, seed=9)
+    return graph, sparsify_graph(graph, sigma2=400.0, seed=0)
+
+
+class TestRefine:
+    def test_preserves_existing_edges(self, coarse):
+        graph, result = coarse
+        fine = refine_sparsifier(result, sigma2=50.0, seed=0)
+        assert np.all(fine.edge_mask[result.edge_mask])
+
+    def test_reaches_tighter_target(self, coarse):
+        graph, result = coarse
+        fine = refine_sparsifier(result, sigma2=50.0, seed=0)
+        assert fine.converged
+        kappa = exact_condition_number(graph, fine.sparsifier)
+        assert kappa <= 1.6 * 50.0
+
+    def test_matches_direct_quality(self, coarse):
+        """Refinement reaches comparable quality to sparsifying from
+        scratch at the tight target."""
+        graph, result = coarse
+        fine = refine_sparsifier(result, sigma2=50.0, seed=0)
+        direct = sparsify_graph(graph, sigma2=50.0, seed=0)
+        kappa_fine = exact_condition_number(graph, fine.sparsifier)
+        kappa_direct = exact_condition_number(graph, direct.sparsifier)
+        assert kappa_fine <= 1.6 * 50.0
+        assert kappa_direct <= 1.6 * 50.0
+
+    def test_looser_target_noop(self, coarse):
+        graph, result = coarse
+        same = refine_sparsifier(result, sigma2=800.0, seed=0)
+        assert same is result
+
+    def test_iterations_accumulate(self, coarse):
+        graph, result = coarse
+        fine = refine_sparsifier(result, sigma2=50.0, seed=0)
+        assert len(fine.iterations) > len(result.iterations)
+        assert fine.densify_seconds >= result.densify_seconds
+
+    def test_densify_initial_mask_validation(self, coarse):
+        graph, result = coarse
+        tree = low_stretch_tree(graph, seed=1)
+        with pytest.raises(ValueError, match="shape"):
+            densify(graph, tree, sigma2=50.0,
+                    initial_mask=np.zeros(3, dtype=bool))
+        bad = np.zeros(graph.num_edges, dtype=bool)
+        with pytest.raises(ValueError, match="tree edge"):
+            densify(graph, tree, sigma2=50.0, initial_mask=bad)
+
+    def test_densify_accepts_tree_only_mask(self, coarse):
+        graph, _ = coarse
+        tree = low_stretch_tree(graph, seed=1)
+        mask = np.zeros(graph.num_edges, dtype=bool)
+        mask[tree] = True
+        result = densify(graph, tree, sigma2=100.0, seed=0, initial_mask=mask)
+        assert result.converged or result.num_edges >= tree.size

@@ -1,0 +1,116 @@
+"""End-to-end unit tests for the public sparsification API."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, disjoint_union, generators
+from repro.sparsify import (
+    SimilarityAwareSparsifier,
+    exact_condition_number,
+    sparsify_graph,
+)
+
+
+class TestSparsifyGraph:
+    def test_meets_target_within_estimator_slack(self, grid_weighted):
+        result = sparsify_graph(grid_weighted, sigma2=60.0, seed=0)
+        assert result.converged
+        kappa = exact_condition_number(grid_weighted, result.sparsifier)
+        assert kappa <= 1.5 * 60.0
+
+    def test_tighter_sigma_more_edges(self, grid_weighted):
+        dense = sparsify_graph(grid_weighted, sigma2=20.0, seed=0)
+        sparse = sparsify_graph(grid_weighted, sigma2=500.0, seed=0)
+        assert dense.sparsifier.num_edges > sparse.sparsifier.num_edges
+
+    def test_sparsifier_keeps_original_weights(self, grid_weighted):
+        """§3.1: sparsifier edge weights equal the original ones."""
+        result = sparsify_graph(grid_weighted, sigma2=100.0, seed=0)
+        sp, g = result.sparsifier, grid_weighted
+        idx = g.edge_indices(sp.u, sp.v)
+        assert np.all(idx >= 0)
+        assert np.allclose(sp.w, g.w[idx])
+
+    def test_edge_mask_consistent(self, grid_weighted):
+        result = sparsify_graph(grid_weighted, sigma2=100.0, seed=0)
+        assert result.edge_mask.sum() == result.sparsifier.num_edges
+        assert np.all(result.edge_mask[result.tree_indices])
+
+    def test_deterministic_given_seed(self, grid_weighted):
+        a = sparsify_graph(grid_weighted, sigma2=70.0, seed=42)
+        b = sparsify_graph(grid_weighted, sigma2=70.0, seed=42)
+        assert a.sparsifier == b.sparsifier
+
+    def test_properties(self, grid_weighted):
+        result = sparsify_graph(grid_weighted, sigma2=100.0, seed=0)
+        assert result.density == pytest.approx(
+            result.sparsifier.num_edges / grid_weighted.n
+        )
+        assert result.edge_reduction == pytest.approx(
+            grid_weighted.num_edges / result.sparsifier.num_edges
+        )
+        assert result.num_off_tree_edges == (
+            result.sparsifier.num_edges - (grid_weighted.n - 1)
+        )
+        assert result.total_seconds >= 0.0
+        assert "sparsifier" in result.summary()
+
+    def test_disconnected_rejected(self, path5, cycle6):
+        with pytest.raises(ValueError, match="connected"):
+            sparsify_graph(disjoint_union(path5, cycle6), sigma2=10.0)
+
+    def test_trivial_graph_rejected(self):
+        with pytest.raises(ValueError, match="2 vertices"):
+            sparsify_graph(Graph(1), sigma2=10.0)
+
+    def test_invalid_sigma2(self, grid_small):
+        with pytest.raises(ValueError, match="sigma2"):
+            sparsify_graph(grid_small, sigma2=0.5)
+
+
+class TestSparsifierClass:
+    def test_reusable_across_graphs(self):
+        sparsifier = SimilarityAwareSparsifier(sigma2=100.0, seed=0)
+        for factory in (
+            lambda: generators.grid2d(10, 10, seed=1),
+            lambda: generators.fem_mesh_2d(150, seed=2),
+        ):
+            g = factory()
+            result = sparsifier.sparsify(g)
+            assert result.sparsifier.n == g.n
+
+    @pytest.mark.parametrize("tree_method", ["akpw", "spt", "maxw"])
+    def test_tree_methods(self, grid_weighted, tree_method):
+        result = SimilarityAwareSparsifier(
+            sigma2=100.0, tree_method=tree_method, seed=0
+        ).sparsify(grid_weighted)
+        assert result.sparsifier.num_edges >= grid_weighted.n - 1
+
+    def test_works_on_every_paper_family(self):
+        """Smoke the full pipeline across all workload families."""
+        cases = [
+            generators.circuit_grid(10, 10, seed=1),
+            generators.thermal_stack(6, 6, 4, seed=2),
+            generators.ecology_grid(10, 10, seed=3),
+            generators.barabasi_albert(300, 3, seed=4),
+            generators.knn_graph(
+                generators.gaussian_mixture_points(200, seed=5), k=8
+            ),
+            generators.protein_contact_graph(150, seed=6),
+        ]
+        for g in cases:
+            result = sparsify_graph(g, sigma2=100.0, seed=0)
+            assert result.sparsifier.num_edges <= g.num_edges
+            assert result.sigma2_estimate > 0
+
+    def test_quadratic_form_inequality_holds(self, grid_weighted, rng):
+        """Eq. 2 with σ² = exact κ: sampled Rayleigh quotients stay inside."""
+        from repro.sparsify import quadratic_form_ratios
+
+        result = sparsify_graph(grid_weighted, sigma2=50.0, seed=0)
+        kappa = exact_condition_number(grid_weighted, result.sparsifier)
+        ratios = quadratic_form_ratios(
+            grid_weighted, result.sparsifier, num_samples=32, seed=1
+        )
+        assert np.all(ratios >= 1.0 - 1e-9)
+        assert np.all(ratios <= kappa * (1 + 1e-9))

@@ -1,0 +1,105 @@
+"""Unit tests for generalized eigenvalue utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.spectral import (
+    dense_generalized_eigs,
+    exact_extreme_generalized_eigs,
+    ones_complement_basis,
+    smallest_laplacian_eigs,
+)
+from repro.sparsify import sparsify_graph
+
+
+class TestBasis:
+    def test_orthonormal(self):
+        U = ones_complement_basis(17)
+        assert np.allclose(U.T @ U, np.eye(16), atol=1e-12)
+
+    def test_orthogonal_to_ones(self):
+        U = ones_complement_basis(17)
+        assert np.abs(U.T @ np.ones(17)).max() < 1e-12
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            ones_complement_basis(1)
+
+
+class TestDenseGeneralizedEigs:
+    def test_pencil_with_itself_all_ones(self, grid_weighted):
+        L = grid_weighted.laplacian()
+        vals = dense_generalized_eigs(L, L)
+        assert np.allclose(vals, 1.0, atol=1e-8)
+
+    def test_subgraph_pencil_at_least_one(self, grid_weighted):
+        result = sparsify_graph(grid_weighted, sigma2=100.0, seed=0)
+        vals = dense_generalized_eigs(
+            grid_weighted.laplacian(), result.sparsifier.laplacian()
+        )
+        assert vals.min() > 1.0 - 1e-8
+
+    def test_eigenvectors_satisfy_pencil(self, grid_small):
+        result = sparsify_graph(grid_small, sigma2=100.0, seed=1)
+        LG = grid_small.laplacian()
+        LP = result.sparsifier.laplacian()
+        vals, vecs = dense_generalized_eigs(LG, LP, return_vectors=True)
+        # Check the extreme pair: L_G u = lambda L_P u.
+        for k in (0, len(vals) - 1):
+            residual = LG @ vecs[:, k] - vals[k] * (LP @ vecs[:, k])
+            assert np.linalg.norm(residual) < 1e-7 * max(vals[k], 1.0)
+
+    def test_count_is_n_minus_one(self, path5):
+        vals = dense_generalized_eigs(path5.laplacian(), path5.laplacian())
+        assert len(vals) == path5.n - 1
+
+    def test_shape_mismatch_rejected(self, path5, cycle6):
+        with pytest.raises(ValueError, match="pencil"):
+            dense_generalized_eigs(path5.laplacian(), cycle6.laplacian())
+
+    def test_extremes_helper(self, grid_small):
+        result = sparsify_graph(grid_small, sigma2=50.0, seed=2)
+        lmin, lmax = exact_extreme_generalized_eigs(
+            grid_small.laplacian(), result.sparsifier.laplacian()
+        )
+        vals = dense_generalized_eigs(
+            grid_small.laplacian(), result.sparsifier.laplacian()
+        )
+        assert lmin == pytest.approx(vals[0])
+        assert lmax == pytest.approx(vals[-1])
+
+
+class TestSmallestLaplacianEigs:
+    def test_dense_path_matches_eigh(self, grid_small):
+        L = grid_small.laplacian()
+        vals, vecs = smallest_laplacian_eigs(L, k=4)
+        ref = np.linalg.eigvalsh(L.toarray())[1:5]
+        assert np.allclose(vals, ref, atol=1e-10)
+        assert vecs.shape == (grid_small.n, 4)
+
+    def test_lobpcg_matches_dense(self):
+        g = generators.grid2d(28, 28, seed=1)
+        L = g.laplacian()
+        vals_iter, _ = smallest_laplacian_eigs(L, k=3, seed=0, dense_threshold=10)
+        vals_dense, _ = smallest_laplacian_eigs(L, k=3, dense_threshold=5000)
+        assert np.allclose(vals_iter, vals_dense, rtol=1e-4)
+
+    def test_preconditioner_accepted(self):
+        from repro.solvers import AMGSolver
+
+        g = generators.grid2d(30, 30, seed=2)
+        L = g.laplacian()
+        vals, _ = smallest_laplacian_eigs(
+            L, k=2, preconditioner=AMGSolver(L), seed=0, dense_threshold=10
+        )
+        ref, _ = smallest_laplacian_eigs(L, k=2, dense_threshold=5000)
+        assert np.allclose(vals, ref, rtol=1e-4)
+
+    def test_eigenvectors_orthogonal_to_ones(self, grid_small):
+        _, vecs = smallest_laplacian_eigs(grid_small.laplacian(), k=3)
+        assert np.abs(vecs.T @ np.ones(grid_small.n)).max() < 1e-8
+
+    def test_bad_k_rejected(self, path5):
+        with pytest.raises(ValueError, match="k must be"):
+            smallest_laplacian_eigs(path5.laplacian(), k=4)

@@ -1,0 +1,77 @@
+"""Unit tests for spectral drawing and alignment metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.spectral import (
+    procrustes_alignment_error,
+    spectral_coordinates,
+    subspace_angles_degrees,
+)
+
+
+class TestSpectralCoordinates:
+    def test_shape(self, grid_small):
+        coords = spectral_coordinates(grid_small, dim=2)
+        assert coords.shape == (grid_small.n, 2)
+
+    def test_columns_are_eigenvectors(self, grid_small):
+        coords = spectral_coordinates(grid_small, dim=2)
+        L = grid_small.laplacian()
+        for j in range(2):
+            v = coords[:, j]
+            lam = float(v @ (L @ v)) / float(v @ v)
+            assert np.linalg.norm(L @ v - lam * v) < 1e-8
+
+    def test_bad_dim(self, grid_small):
+        with pytest.raises(ValueError, match="dim"):
+            spectral_coordinates(grid_small, dim=0)
+
+
+class TestProcrustes:
+    def test_zero_for_rotated_copy(self, rng):
+        X = rng.standard_normal((50, 2))
+        theta = 1.1
+        Q = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        assert procrustes_alignment_error(X, X @ Q) < 1e-12
+
+    def test_zero_for_reflection(self, rng):
+        X = rng.standard_normal((50, 2))
+        R = np.diag([1.0, -1.0])
+        assert procrustes_alignment_error(X, X @ R) < 1e-12
+
+    def test_positive_for_noise(self, rng):
+        X = rng.standard_normal((50, 2))
+        Y = X + 0.5 * rng.standard_normal((50, 2))
+        assert procrustes_alignment_error(X, Y) > 0.05
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="shapes"):
+            procrustes_alignment_error(
+                rng.standard_normal((5, 2)), rng.standard_normal((6, 2))
+            )
+
+
+class TestSubspaceAngles:
+    def test_zero_for_same_span(self, rng):
+        X = rng.standard_normal((40, 2))
+        Y = X @ np.array([[2.0, 1.0], [0.0, 3.0]])  # same column span
+        assert subspace_angles_degrees(X, Y).max() < 1e-6
+
+    def test_ninety_for_orthogonal(self):
+        X = np.eye(4)[:, :1]
+        Y = np.eye(4)[:, 1:2]
+        assert subspace_angles_degrees(X, Y).max() == pytest.approx(90.0)
+
+    def test_sparsifier_preserves_drawing_subspace(self):
+        """The Fig. 1 claim: drawings of G and its sparsifier align."""
+        from repro.sparsify import sparsify_graph
+
+        g = generators.fem_mesh_2d(350, seed=6)
+        result = sparsify_graph(g, sigma2=30.0, seed=0)
+        cg = spectral_coordinates(g, dim=2, seed=0)
+        cp = spectral_coordinates(result.sparsifier, dim=2, seed=0)
+        assert subspace_angles_degrees(cg, cp).max() < 30.0

@@ -1,0 +1,113 @@
+"""Unit tests for the Section 3.6 extreme eigenvalue estimators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, generators
+from repro.solvers import DirectSolver
+from repro.spectral import (
+    estimate_lambda_max,
+    estimate_lambda_min,
+    exact_extreme_generalized_eigs,
+    generalized_power_iteration,
+)
+from repro.sparsify import sparsify_graph
+from repro.trees import RootedTree, TreeSolver, low_stretch_tree
+
+
+@pytest.fixture
+def pencil(grid_weighted):
+    """Graph, sparsifier and exact pencil extremes."""
+    result = sparsify_graph(grid_weighted, sigma2=100.0, seed=3)
+    lmin, lmax = exact_extreme_generalized_eigs(
+        grid_weighted.laplacian(), result.sparsifier.laplacian()
+    )
+    return grid_weighted, result.sparsifier, lmin, lmax
+
+
+class TestLambdaMax:
+    def test_close_to_exact(self, pencil):
+        graph, sparsifier, _, lmax = pencil
+        solver = DirectSolver(sparsifier.laplacian().tocsc())
+        est = estimate_lambda_max(graph, sparsifier, solver, iterations=10, seed=0)
+        assert est == pytest.approx(lmax, rel=0.15)
+
+    def test_underestimates(self, pencil):
+        """The Rayleigh quotient of any iterate is at most λmax."""
+        graph, sparsifier, _, lmax = pencil
+        solver = DirectSolver(sparsifier.laplacian().tocsc())
+        for seed in range(4):
+            est = estimate_lambda_max(graph, sparsifier, solver, seed=seed)
+            assert est <= lmax * (1 + 1e-9)
+
+    def test_more_iterations_monotone_toward_lmax(self, pencil):
+        graph, sparsifier, _, lmax = pencil
+        solver = DirectSolver(sparsifier.laplacian().tocsc())
+        few = estimate_lambda_max(graph, sparsifier, solver, iterations=2, seed=1)
+        many = estimate_lambda_max(graph, sparsifier, solver, iterations=25, seed=1)
+        assert many >= few - 1e-9
+        assert many == pytest.approx(lmax, rel=0.02)
+
+    def test_tree_solver_backend(self, grid_weighted):
+        idx = low_stretch_tree(grid_weighted, seed=0)
+        sparsifier = grid_weighted.edge_subgraph(idx)
+        solver = TreeSolver(RootedTree.from_graph(grid_weighted, idx))
+        _, lmax = exact_extreme_generalized_eigs(
+            grid_weighted.laplacian(), sparsifier.laplacian()
+        )
+        est = estimate_lambda_max(grid_weighted, sparsifier, solver,
+                                  iterations=15, seed=2)
+        assert est == pytest.approx(lmax, rel=0.1)
+
+    def test_invalid_iterations(self, pencil):
+        graph, sparsifier, _, _ = pencil
+        solver = DirectSolver(sparsifier.laplacian().tocsc())
+        with pytest.raises(ValueError, match="iterations"):
+            generalized_power_iteration(
+                graph.laplacian(), sparsifier.laplacian(), solver, iterations=0
+            )
+
+    def test_return_vector(self, pencil):
+        graph, sparsifier, _, _ = pencil
+        solver = DirectSolver(sparsifier.laplacian().tocsc())
+        value, vector = generalized_power_iteration(
+            graph.laplacian(), sparsifier.laplacian(), solver,
+            iterations=5, seed=0, return_vector=True,
+        )
+        assert vector.shape == (graph.n,)
+        assert abs(np.linalg.norm(vector) - 1.0) < 1e-9
+
+
+class TestLambdaMin:
+    def test_overestimates(self, pencil):
+        """Eq. 18 restricts Courant–Fischer, so it upper-bounds λmin."""
+        graph, sparsifier, lmin, _ = pencil
+        est = estimate_lambda_min(graph, sparsifier)
+        assert est >= lmin - 1e-9
+
+    def test_reasonably_close(self, pencil):
+        graph, sparsifier, lmin, _ = pencil
+        est = estimate_lambda_min(graph, sparsifier)
+        assert est <= 1.6 * lmin  # paper reports ~4-11% errors
+
+    def test_exactly_one_when_vertex_keeps_all_edges(self):
+        """A vertex with its full neighbourhood inside P forces λmin = 1."""
+        g = generators.grid2d(6, 6, seed=0)
+        # Sparsifier = everything: degree ratios are all exactly 1.
+        assert estimate_lambda_min(g, g) == pytest.approx(1.0)
+
+    def test_size_mismatch_rejected(self, path5, cycle6):
+        with pytest.raises(ValueError, match="sizes differ"):
+            estimate_lambda_min(path5, cycle6)
+
+    def test_isolated_vertex_rejected(self, path5):
+        bad = Graph(5, [0], [1], [1.0])
+        with pytest.raises(ValueError, match="isolated"):
+            estimate_lambda_min(path5, bad)
+
+    def test_simple_ratio_by_hand(self):
+        """Triangle vs one-edge-removed: min degree ratio computed by hand."""
+        g = Graph(3, [0, 0, 1], [1, 2, 2], [1.0, 1.0, 1.0])
+        p = g.edge_subgraph(np.array([0, 1]))  # drop edge (1,2)
+        # Degrees G: [2,2,2]; P: [2,1,1]; ratios [1,2,2] -> min 1.
+        assert estimate_lambda_min(g, p) == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the inverse-power-iteration Fiedler solver."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.solvers import DirectSolver
+from repro.spectral import (
+    dense_generalized_eigs,
+    fiedler_vector,
+    sign_cut,
+)
+
+
+@pytest.fixture
+def rect_grid():
+    """Rectangular grid: isolated λ₂, fast inverse iteration."""
+    return generators.grid2d(24, 7, seed=0)
+
+
+class TestConvergence:
+    def test_matches_dense_lambda2(self, rect_grid):
+        L = rect_grid.laplacian()
+        result = fiedler_vector(L, DirectSolver(L.tocsc()), iterations=60,
+                                tol=1e-12, seed=1)
+        lam2 = dense_generalized_eigs(L, np.eye(rect_grid.n))[0]
+        assert result.value == pytest.approx(lam2, rel=1e-7)
+
+    def test_eigen_residual_small(self, rect_grid):
+        L = rect_grid.laplacian()
+        result = fiedler_vector(L, DirectSolver(L.tocsc()), iterations=60,
+                                tol=1e-12, seed=1)
+        assert result.residual < 1e-8
+
+    def test_vector_unit_and_mean_free(self, rect_grid):
+        L = rect_grid.laplacian()
+        result = fiedler_vector(L, DirectSolver(L.tocsc()), seed=2)
+        assert abs(np.linalg.norm(result.vector) - 1.0) < 1e-10
+        assert abs(result.vector.mean()) < 1e-10
+
+    def test_early_exit_records_iterations(self, rect_grid):
+        L = rect_grid.laplacian()
+        result = fiedler_vector(L, DirectSolver(L.tocsc()), iterations=100,
+                                tol=1e-10, seed=3)
+        assert result.iterations < 100
+
+    def test_path_graph_sign_cut_splits_in_half(self):
+        """The Fiedler vector of a path is monotone: sign cut = middle cut."""
+        g = generators.path_graph(20)
+        L = g.laplacian()
+        result = fiedler_vector(L, DirectSolver(L.tocsc()), iterations=80,
+                                tol=1e-13, seed=4)
+        labels = sign_cut(result.vector)
+        # One contiguous block of True and one of False.
+        flips = int(np.sum(labels[1:] != labels[:-1]))
+        assert flips == 1
+        assert 8 <= labels.sum() <= 12
+
+    def test_pcg_solver_agrees_with_direct(self, rect_grid):
+        from repro.solvers import pcg
+        from repro.sparsify import sparsify_graph
+
+        L = rect_grid.laplacian()
+        direct = fiedler_vector(L, DirectSolver(L.tocsc()), iterations=40, seed=5)
+        precond = DirectSolver(
+            sparsify_graph(rect_grid, sigma2=100.0, seed=0)
+            .sparsifier.laplacian().tocsc()
+        )
+
+        def solve(b):
+            return pcg(L, b, precond, tol=1e-8, maxiter=500,
+                       project_nullspace=True).x
+
+        iterative = fiedler_vector(L, solve, iterations=40, seed=5)
+        assert iterative.value == pytest.approx(direct.value, rel=1e-4)

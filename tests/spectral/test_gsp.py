@@ -1,0 +1,118 @@
+"""Unit tests for the graph signal processing module."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.spectral import (
+    GraphFourier,
+    chebyshev_filter,
+    heat_kernel,
+    low_pass,
+    smoothness,
+)
+
+
+@pytest.fixture
+def fourier(grid_small):
+    return GraphFourier(grid_small)
+
+
+class TestGraphFourier:
+    def test_transform_roundtrip(self, fourier, rng):
+        x = rng.standard_normal(fourier.n)
+        assert np.allclose(fourier.inverse(fourier.transform(x)), x, atol=1e-10)
+
+    def test_frequencies_sorted_nonnegative(self, fourier):
+        assert fourier.frequencies[0] == pytest.approx(0.0, abs=1e-10)
+        assert np.all(np.diff(fourier.frequencies) >= -1e-12)
+
+    def test_identity_filter(self, fourier, rng):
+        x = rng.standard_normal(fourier.n)
+        assert np.allclose(fourier.filter(x, lambda lam: np.ones_like(lam)), x)
+
+    def test_low_pass_keeps_constant(self, fourier):
+        x = np.ones(fourier.n)
+        assert np.allclose(fourier.filter(x, low_pass(0.5)), x, atol=1e-10)
+
+    def test_low_pass_kills_high_frequency(self, fourier):
+        # The highest-frequency eigenvector must be annihilated.
+        x = fourier.modes[:, -1]
+        cutoff = fourier.frequencies[-1] * 0.5
+        assert np.abs(fourier.filter(x, low_pass(cutoff))).max() < 1e-10
+
+
+class TestFilters:
+    def test_low_pass_response(self):
+        h = low_pass(1.0)
+        assert np.array_equal(h(np.array([0.5, 1.0, 2.0])), [1.0, 1.0, 0.0])
+
+    def test_low_pass_negative_cutoff(self):
+        with pytest.raises(ValueError, match="cutoff"):
+            low_pass(-1.0)
+
+    def test_heat_kernel_response(self):
+        h = heat_kernel(2.0)
+        assert h(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert h(np.array([1.0]))[0] == pytest.approx(np.exp(-2.0))
+
+    def test_heat_kernel_negative_tau(self):
+        with pytest.raises(ValueError, match="tau"):
+            heat_kernel(-0.1)
+
+
+class TestChebyshev:
+    def test_matches_exact_heat_kernel(self, grid_small, rng):
+        gf = GraphFourier(grid_small)
+        x = rng.standard_normal(grid_small.n)
+        exact = gf.filter(x, heat_kernel(0.4))
+        approx = chebyshev_filter(grid_small, x, heat_kernel(0.4), order=40)
+        assert np.linalg.norm(exact - approx) < 1e-6 * np.linalg.norm(exact)
+
+    def test_order_improves_accuracy(self, grid_small, rng):
+        gf = GraphFourier(grid_small)
+        x = rng.standard_normal(grid_small.n)
+        exact = gf.filter(x, heat_kernel(1.0))
+        err5 = np.linalg.norm(exact - chebyshev_filter(grid_small, x, heat_kernel(1.0), order=5))
+        err40 = np.linalg.norm(exact - chebyshev_filter(grid_small, x, heat_kernel(1.0), order=40))
+        assert err40 < err5
+
+    def test_bad_order(self, grid_small, rng):
+        with pytest.raises(ValueError, match="order"):
+            chebyshev_filter(grid_small, np.ones(grid_small.n),
+                             heat_kernel(1.0), order=0)
+
+
+class TestSmoothness:
+    def test_constant_signal_zero(self, grid_small):
+        assert smoothness(grid_small, np.ones(grid_small.n)) == pytest.approx(0.0)
+
+    def test_smooth_below_random(self, grid_small, rng):
+        gf = GraphFourier(grid_small)
+        smooth = gf.modes[:, 1]
+        noisy = rng.standard_normal(grid_small.n)
+        assert smoothness(grid_small, smooth) < smoothness(grid_small, noisy)
+
+    def test_zero_signal_rejected(self, grid_small):
+        with pytest.raises(ValueError, match="nonzero"):
+            smoothness(grid_small, np.zeros(grid_small.n))
+
+    def test_sparsifier_is_low_pass(self):
+        """Section 3.4: the sparsifier acts as a low-pass graph filter —
+        low-frequency eigenvectors survive sparsification nearly intact
+        while the highest-frequency mode is badly distorted."""
+        from repro.sparsify import sparsify_graph
+
+        pts = generators.gaussian_mixture_points(
+            260, dim=3, clusters=2, separation=7.0, seed=3
+        )
+        g = generators.knn_graph(pts, k=10)
+        p = sparsify_graph(g, sigma2=100.0, seed=0).sparsifier
+        assert p.num_edges < 0.4 * g.num_edges  # real sparsification
+        modes_g = GraphFourier(g).modes
+        modes_p = GraphFourier(p).modes
+        fiedler_cos = abs(float(modes_g[:, 1] @ modes_p[:, 1]))
+        top_cos = abs(float(modes_g[:, -1] @ modes_p[:, -1]))
+        assert fiedler_cos > 0.99
+        assert top_cos < 0.9
+        assert fiedler_cos > top_cos

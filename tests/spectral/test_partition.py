@@ -1,0 +1,77 @@
+"""Unit tests for sign-cut partitioning metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, generators
+from repro.spectral import (
+    balance_ratio,
+    conductance,
+    cut_weight,
+    partition_disagreement,
+    sign_cut,
+)
+
+
+class TestSignCut:
+    def test_zero_goes_positive(self):
+        labels = sign_cut(np.array([-1.0, 0.0, 2.0]))
+        assert list(labels) == [False, True, True]
+
+
+class TestBalance:
+    def test_even_split(self):
+        assert balance_ratio(np.array([True, True, False, False])) == 1.0
+
+    def test_empty_negative_side_is_inf(self):
+        assert balance_ratio(np.array([True, True])) == float("inf")
+
+    def test_ratio(self):
+        assert balance_ratio(np.array([True, False, False, False])) == pytest.approx(1 / 3)
+
+
+class TestCutWeight:
+    def test_manual_triangle(self, triangle):
+        labels = np.array([True, False, False])
+        # Crossing edges: (0,1) w=1 and (0,2) w=2.
+        assert cut_weight(triangle, labels) == pytest.approx(3.0)
+
+    def test_no_cut(self, triangle):
+        assert cut_weight(triangle, np.ones(3, dtype=bool)) == 0.0
+
+    def test_wrong_length_rejected(self, triangle):
+        with pytest.raises(ValueError, match="length"):
+            cut_weight(triangle, np.array([True]))
+
+
+class TestConductance:
+    def test_manual_value(self, triangle):
+        labels = np.array([True, False, False])
+        # vol(V+) = deg(0) = 3, vol(V-) = 3+5 = 8; cut = 3.
+        assert conductance(triangle, labels) == pytest.approx(1.0)
+
+    def test_empty_side_is_inf(self, triangle):
+        assert conductance(triangle, np.zeros(3, dtype=bool)) == float("inf")
+
+    def test_grid_halves_have_low_conductance(self, grid_small):
+        labels = np.arange(grid_small.n) < grid_small.n // 2
+        assert conductance(grid_small, labels) < 0.2
+
+
+class TestDisagreement:
+    def test_identical_zero(self):
+        a = np.array([True, False, True])
+        assert partition_disagreement(a, a) == 0.0
+
+    def test_sign_flip_invariant(self):
+        a = np.array([True, False, True, False])
+        assert partition_disagreement(a, ~a) == 0.0
+
+    def test_partial(self):
+        a = np.array([True, True, True, True])
+        b = np.array([True, True, True, False])
+        assert partition_disagreement(a, b) == pytest.approx(0.25)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            partition_disagreement(np.array([True]), np.array([True, False]))

@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import generators
+from repro.graphs.io import load_graph_matrix_market, write_matrix_market
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = generators.circuit_grid(12, 12, seed=3)
+    path = tmp_path / "graph.mtx"
+    write_matrix_market(path, graph.adjacency(), symmetric=True)
+    return path, graph
+
+
+class TestSparsifyCommand:
+    def test_writes_sparsifier(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "sparse.mtx"
+        code = main(["sparsify", str(path), "-o", str(out), "--sigma2", "100"])
+        assert code == 0
+        assert out.exists()
+        sparsifier = load_graph_matrix_market(out)
+        assert sparsifier.n == graph.n
+        assert sparsifier.num_edges <= graph.num_edges
+        assert "sparsifier" in capsys.readouterr().out
+
+    def test_tree_method_flag(self, graph_file, tmp_path):
+        path, _ = graph_file
+        out = tmp_path / "sparse.mtx"
+        assert main(["sparsify", str(path), "-o", str(out), "--tree", "maxw"]) == 0
+
+    def test_sparsifier_is_subgraph(self, graph_file, tmp_path):
+        path, graph = graph_file
+        out = tmp_path / "sparse.mtx"
+        main(["sparsify", str(path), "-o", str(out)])
+        sparsifier = load_graph_matrix_market(out)
+        assert np.all(graph.has_edges(sparsifier.u, sparsifier.v))
+
+
+class TestSimilarityCommand:
+    def test_reports_estimates(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "sparse.mtx"
+        main(["sparsify", str(path), "-o", str(out), "--sigma2", "50"])
+        capsys.readouterr()
+        code = main(["similarity", str(path), str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "kappa" in text
+        kappa = float(
+            [ln for ln in text.splitlines() if "kappa" in ln][0].split("~=")[1]
+        )
+        assert 1.0 <= kappa <= 200.0
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("family", ["grid2d", "circuit_grid", "barabasi_albert"])
+    def test_generates_workload(self, family, tmp_path, capsys):
+        out = tmp_path / "g.mtx"
+        code = main(["generate", family, "--out", str(out), "--size", "8"])
+        assert code == 0
+        graph = load_graph_matrix_market(out)
+        assert graph.n >= 64
+        assert "written" in capsys.readouterr().out
+
+    def test_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "mystery", "--out", str(tmp_path / "g.mtx")])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

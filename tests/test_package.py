@@ -1,0 +1,44 @@
+"""Package-level tests: lazy exports, version, run_all registry."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_exports_resolve(self):
+        assert callable(repro.sparsify_graph)
+        assert repro.SparsifyResult is not None
+        assert repro.SimilarityAwareSparsifier is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+    def test_graph_exported_eagerly(self):
+        from repro import Graph
+
+        assert Graph(2, [0], [1], [1.0]).num_edges == 1
+
+
+class TestRunAllRegistry:
+    def test_all_experiments_importable(self):
+        from repro.experiments.run_all import EXPERIMENTS
+
+        assert len(EXPERIMENTS) == 7
+        for name in EXPERIMENTS:
+            module = importlib.import_module(name)
+            assert hasattr(module, "main")
+            assert hasattr(module, "run")
+
+    def test_every_experiment_has_headers(self):
+        from repro.experiments.run_all import EXPERIMENTS
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(name)
+            assert hasattr(module, "HEADERS")

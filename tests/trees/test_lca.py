@@ -1,0 +1,91 @@
+"""Unit tests for binary-lifting LCA queries."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.trees import BinaryLiftingLCA, RootedTree, low_stretch_tree
+
+
+def brute_force_lca(tree: RootedTree, u: int, v: int) -> int:
+    """Reference LCA by walking ancestor sets."""
+    ancestors = set()
+    x = u
+    while x >= 0:
+        ancestors.add(x)
+        x = int(tree.parent[x]) if tree.parent[x] >= 0 else -1
+    x = v
+    while x not in ancestors:
+        x = int(tree.parent[x])
+    return x
+
+
+@pytest.fixture
+def random_tree():
+    g = generators.fem_mesh_2d(200, seed=21)
+    idx = low_stretch_tree(g, seed=3)
+    return g, RootedTree.from_graph(g, idx, root=0)
+
+
+class TestQueries:
+    def test_path_graph_lca_is_smaller_index(self):
+        g = generators.path_graph(8)
+        tree = RootedTree.from_graph(g, np.arange(7), root=0)
+        lca = BinaryLiftingLCA(tree)
+        assert lca.query(np.array([2]), np.array([6]))[0] == 2
+        assert lca.query(np.array([7]), np.array([0]))[0] == 0
+
+    def test_star_graph_lca_is_center(self):
+        g = generators.star_graph(6)
+        tree = RootedTree.from_graph(g, np.arange(5), root=0)
+        lca = BinaryLiftingLCA(tree)
+        assert lca.query(np.array([1]), np.array([5]))[0] == 0
+
+    def test_lca_of_vertex_with_itself(self, random_tree):
+        _, tree = random_tree
+        lca = BinaryLiftingLCA(tree)
+        assert lca.query(np.array([17]), np.array([17]))[0] == 17
+
+    def test_lca_with_ancestor(self):
+        g = generators.path_graph(10)
+        tree = RootedTree.from_graph(g, np.arange(9), root=0)
+        lca = BinaryLiftingLCA(tree)
+        assert lca.query(np.array([3]), np.array([9]))[0] == 3
+
+    def test_matches_brute_force(self, random_tree, rng):
+        _, tree = random_tree
+        lca = BinaryLiftingLCA(tree)
+        us = rng.integers(0, tree.n, size=60)
+        vs = rng.integers(0, tree.n, size=60)
+        fast = lca.query(us, vs)
+        slow = np.array([brute_force_lca(tree, int(a), int(b)) for a, b in zip(us, vs)])
+        assert np.array_equal(fast, slow)
+
+    def test_shape_mismatch_rejected(self, random_tree):
+        _, tree = random_tree
+        lca = BinaryLiftingLCA(tree)
+        with pytest.raises(ValueError, match="shape"):
+            lca.query(np.array([1, 2]), np.array([3]))
+
+
+class TestPathResistance:
+    def test_matches_dense_effective_resistance(self, random_tree):
+        """Tree-path resistance equals the tree's effective resistance."""
+        graph, tree = random_tree
+        lca = BinaryLiftingLCA(tree)
+        L = graph.edge_subgraph(tree.edge_indices).laplacian().toarray()
+        pinv = np.linalg.pinv(L)
+        rng = np.random.default_rng(0)
+        us = rng.integers(0, tree.n, size=25)
+        vs = rng.integers(0, tree.n, size=25)
+        fast = lca.path_resistance(us, vs)
+        for k, (a, b) in enumerate(zip(us, vs)):
+            e = np.zeros(tree.n)
+            e[a] += 1.0
+            e[b] -= 1.0
+            assert fast[k] == pytest.approx(float(e @ pinv @ e), rel=1e-9, abs=1e-12)
+
+    def test_zero_for_same_vertex(self, random_tree):
+        _, tree = random_tree
+        lca = BinaryLiftingLCA(tree)
+        assert lca.path_resistance(np.array([5]), np.array([5]))[0] == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for low-stretch spanning tree construction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import disjoint_union, generators, is_connected
+from repro.trees import (
+    akpw,
+    low_stretch_tree,
+    shortest_path_tree,
+    total_stretch,
+)
+
+
+class TestAKPW:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_returns_spanning_tree(self, mesh_medium, seed):
+        idx = akpw(mesh_medium, seed=seed)
+        assert idx.size == mesh_medium.n - 1
+        assert is_connected(mesh_medium.edge_subgraph(idx))
+        assert len(np.unique(idx)) == idx.size
+
+    def test_deterministic_given_seed(self, grid_weighted):
+        assert np.array_equal(akpw(grid_weighted, seed=5), akpw(grid_weighted, seed=5))
+
+    def test_single_vertex(self):
+        from repro.graphs import Graph
+
+        assert akpw(Graph(1)).size == 0
+
+    def test_two_vertices(self):
+        g = generators.path_graph(2)
+        assert np.array_equal(akpw(g, seed=0), np.array([0]))
+
+    def test_disconnected_rejected(self, path5, cycle6):
+        with pytest.raises(ValueError, match="connected"):
+            akpw(disjoint_union(path5, cycle6))
+
+    def test_bad_scale_factor(self, path5):
+        with pytest.raises(ValueError, match="scale_factor"):
+            akpw(path5, scale_factor=1.0)
+
+    def test_beats_random_tree_on_heterogeneous_weights(self):
+        """AKPW respects short edges: orders of magnitude below random."""
+        g = generators.grid2d(20, 20, weights="lognormal", seed=3, spread=2.0)
+        st_akpw = total_stretch(g, akpw(g, seed=0))
+        st_random = total_stretch(g, low_stretch_tree(g, method="random", seed=0))
+        assert st_akpw < 0.05 * st_random
+
+    def test_beats_random_tree_on_circuit(self):
+        """Multi-conductance circuit grids: AKPW clearly below random."""
+        g = generators.circuit_grid(16, 16, seed=3)
+        st_akpw = total_stretch(g, akpw(g, seed=0))
+        st_random = total_stretch(g, low_stretch_tree(g, method="random", seed=0))
+        assert st_akpw < 0.7 * st_random
+
+    def test_wide_weight_range(self):
+        """Geometric scale classes handle 6 orders of magnitude."""
+        g = generators.grid2d(10, 10, weights="lognormal", seed=1, spread=3.0)
+        idx = akpw(g, seed=2)
+        assert is_connected(g.edge_subgraph(idx))
+
+
+class TestShortestPathTree:
+    def test_is_spanning_tree(self, mesh_medium):
+        idx = shortest_path_tree(mesh_medium)
+        assert idx.size == mesh_medium.n - 1
+        assert is_connected(mesh_medium.edge_subgraph(idx))
+
+    def test_root_paths_are_shortest(self, grid_weighted):
+        """Root-path resistance in the SPT equals the graph distance."""
+        import scipy.sparse as sp
+        import scipy.sparse.csgraph as csgraph
+
+        from repro.trees import RootedTree
+
+        root = int(np.argmax(grid_weighted.weighted_degrees()))
+        idx = shortest_path_tree(grid_weighted, root=root)
+        tree = RootedTree.from_graph(grid_weighted, idx, root=root)
+        lengths = 1.0 / grid_weighted.w
+        matrix = sp.csr_matrix(
+            (
+                np.concatenate([lengths, lengths]),
+                (
+                    np.concatenate([grid_weighted.u, grid_weighted.v]),
+                    np.concatenate([grid_weighted.v, grid_weighted.u]),
+                ),
+            ),
+            shape=(grid_weighted.n, grid_weighted.n),
+        )
+        dist = csgraph.dijkstra(matrix, directed=False, indices=root)
+        assert np.allclose(tree.resistance_to_root(), dist, rtol=1e-10)
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("method", ["akpw", "spt", "maxw", "random"])
+    def test_all_methods_span(self, grid_weighted, method):
+        idx = low_stretch_tree(grid_weighted, method=method, seed=1)
+        assert idx.size == grid_weighted.n - 1
+        assert is_connected(grid_weighted.edge_subgraph(idx))
+
+    def test_unknown_method(self, path5):
+        with pytest.raises(ValueError, match="unknown tree method"):
+            low_stretch_tree(path5, method="bogus")

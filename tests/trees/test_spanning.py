@@ -1,0 +1,93 @@
+"""Unit tests for classical spanning-tree algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, generators, is_connected
+from repro.trees import (
+    DisjointSet,
+    kruskal,
+    maximum_weight_spanning_tree,
+    minimum_spanning_tree,
+    prim,
+)
+
+
+class TestDisjointSet:
+    def test_initial_singletons(self):
+        dsu = DisjointSet(4)
+        assert dsu.count == 4
+        assert dsu.find(2) == 2
+
+    def test_union_merges(self):
+        dsu = DisjointSet(4)
+        assert dsu.union(0, 1)
+        assert dsu.find(0) == dsu.find(1)
+        assert dsu.count == 3
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet(4)
+        dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.count == 3
+
+    def test_chain_merges_to_one(self):
+        dsu = DisjointSet(10)
+        for i in range(9):
+            dsu.union(i, i + 1)
+        assert dsu.count == 1
+
+
+class TestAgreement:
+    """Kruskal, Prim and scipy MST must agree on the optimum."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_total_length_agreement(self, seed):
+        g = generators.grid2d(12, 12, weights="lognormal", seed=seed)
+        lengths = 1.0 / g.w
+        totals = [
+            lengths[kruskal(g)].sum(),
+            lengths[prim(g)].sum(),
+            lengths[minimum_spanning_tree(g)].sum(),
+        ]
+        assert totals[0] == pytest.approx(totals[1], rel=1e-12)
+        assert totals[0] == pytest.approx(totals[2], rel=1e-12)
+
+    def test_unique_weights_identical_trees(self):
+        g = generators.fem_mesh_2d(150, seed=4)  # distinct float weights
+        assert np.array_equal(kruskal(g), prim(g))
+        assert np.array_equal(kruskal(g), minimum_spanning_tree(g))
+
+
+class TestTreeProperties:
+    @pytest.mark.parametrize("algorithm", [kruskal, prim, minimum_spanning_tree])
+    def test_result_is_spanning_tree(self, algorithm, mesh_medium):
+        idx = algorithm(mesh_medium)
+        assert idx.size == mesh_medium.n - 1
+        assert is_connected(mesh_medium.edge_subgraph(idx))
+
+    def test_disconnected_rejected(self, path5, cycle6):
+        from repro.graphs import disjoint_union
+
+        g = disjoint_union(path5, cycle6)
+        for algorithm in (kruskal, prim, minimum_spanning_tree):
+            with pytest.raises(ValueError, match="connected"):
+                algorithm(g)
+
+    def test_custom_lengths(self, grid_weighted, rng):
+        lengths = rng.random(grid_weighted.num_edges)
+        idx = kruskal(grid_weighted, lengths)
+        # Optimality check via cut property on a random bipartition is
+        # heavy; verify agreement with scipy instead.
+        ref = minimum_spanning_tree(grid_weighted, lengths)
+        assert lengths[idx].sum() == pytest.approx(lengths[ref].sum())
+
+    def test_wrong_length_shape_rejected(self, triangle):
+        with pytest.raises(ValueError, match="lengths"):
+            kruskal(triangle, np.array([1.0]))
+
+    def test_maximum_weight_tree_prefers_heavy_edges(self):
+        # Triangle with one heavy edge: max-weight tree must keep it.
+        g = Graph(3, [0, 0, 1], [1, 2, 2], [10.0, 1.0, 1.0])
+        idx = maximum_weight_spanning_tree(g)
+        assert 0 in idx  # the heavy (0,1) edge is canonical index 0

@@ -1,0 +1,70 @@
+"""Unit tests for edge stretch and total stretch."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.trees import edge_stretches, low_stretch_tree, total_stretch
+
+
+class TestStretchValues:
+    def test_tree_edges_have_stretch_one(self, grid_weighted):
+        idx = low_stretch_tree(grid_weighted, seed=0)
+        report = edge_stretches(grid_weighted, idx)
+        assert np.all(report.stretches[report.tree_mask] == 1.0)
+
+    def test_off_tree_stretch_positive(self, grid_weighted):
+        idx = low_stretch_tree(grid_weighted, seed=0)
+        report = edge_stretches(grid_weighted, idx)
+        assert np.all(report.off_tree_stretches > 0)
+
+    def test_cycle_stretch_closed_form(self):
+        """Unit cycle: the off-tree chord's stretch is the path length."""
+        g = generators.cycle_graph(10)
+        tree = np.arange(9)  # path 0-1-...-9; chord (0, 9) left out
+        report = edge_stretches(g, tree)
+        off = report.off_tree_stretches
+        assert off.size == 1
+        assert off[0] == pytest.approx(9.0)
+
+    def test_total_is_sum(self, grid_weighted):
+        idx = low_stretch_tree(grid_weighted, seed=0)
+        report = edge_stretches(grid_weighted, idx)
+        assert report.total == pytest.approx(report.stretches.sum())
+
+    def test_max_off_tree(self, grid_weighted):
+        idx = low_stretch_tree(grid_weighted, seed=0)
+        report = edge_stretches(grid_weighted, idx)
+        assert report.max_off_tree == pytest.approx(report.off_tree_stretches.max())
+
+    def test_max_off_tree_empty_for_tree_graph(self):
+        g = generators.path_graph(5)
+        report = edge_stretches(g, np.arange(4))
+        assert report.max_off_tree == 0.0
+
+
+class TestTraceIdentity:
+    """Eq. 4 of the paper: st_P(G) = Trace(L_P^+ L_G)."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_total_stretch_equals_trace(self, seed):
+        g = generators.grid2d(10, 10, weights="lognormal", seed=seed)
+        idx = low_stretch_tree(g, seed=seed)
+        st = total_stretch(g, idx)
+        LG = g.laplacian().toarray()
+        LP = g.edge_subgraph(idx).laplacian().toarray()
+        trace = float(np.trace(np.linalg.pinv(LP) @ LG))
+        assert st == pytest.approx(trace, rel=1e-8)
+
+    def test_trace_identity_on_mesh(self, mesh_medium):
+        idx = low_stretch_tree(mesh_medium, seed=2)
+        st = total_stretch(mesh_medium, idx)
+        LG = mesh_medium.laplacian().toarray()
+        LP = mesh_medium.edge_subgraph(idx).laplacian().toarray()
+        trace = float(np.trace(np.linalg.pinv(LP) @ LG))
+        assert st == pytest.approx(trace, rel=1e-7)
+
+    def test_tree_total_stretch_is_n_minus_one(self):
+        """A tree sparsifying itself: every stretch is 1."""
+        g = generators.path_graph(9, weights="uniform", seed=0)
+        assert total_stretch(g, np.arange(8)) == pytest.approx(8.0)

@@ -1,0 +1,64 @@
+"""Unit tests for Tarjan's offline LCA."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.trees import (
+    BinaryLiftingLCA,
+    RootedTree,
+    low_stretch_tree,
+    tarjan_offline_lca,
+)
+
+
+@pytest.fixture
+def random_tree():
+    g = generators.fem_mesh_2d(250, seed=31)
+    idx = low_stretch_tree(g, seed=1)
+    return RootedTree.from_graph(g, idx, root=0)
+
+
+class TestTarjanLCA:
+    def test_matches_binary_lifting(self, random_tree, rng):
+        lifting = BinaryLiftingLCA(random_tree)
+        us = rng.integers(0, random_tree.n, size=200)
+        vs = rng.integers(0, random_tree.n, size=200)
+        assert np.array_equal(
+            tarjan_offline_lca(random_tree, us, vs), lifting.query(us, vs)
+        )
+
+    def test_path_graph(self):
+        g = generators.path_graph(12)
+        tree = RootedTree.from_graph(g, np.arange(11), root=0)
+        out = tarjan_offline_lca(tree, np.array([3, 11]), np.array([9, 0]))
+        assert list(out) == [3, 0]
+
+    def test_star_graph(self):
+        g = generators.star_graph(8)
+        tree = RootedTree.from_graph(g, np.arange(7), root=0)
+        out = tarjan_offline_lca(tree, np.array([1, 5]), np.array([7, 0]))
+        assert list(out) == [0, 0]
+
+    def test_self_query(self, random_tree):
+        out = tarjan_offline_lca(random_tree, np.array([42]), np.array([42]))
+        assert out[0] == 42
+
+    def test_deep_tree_no_recursion_limit(self):
+        """A pure path of 5000 vertices exceeds Python's default
+        recursion limit; the iterative DFS must handle it."""
+        n = 5000
+        g = generators.path_graph(n)
+        tree = RootedTree.from_graph(g, np.arange(n - 1), root=0)
+        out = tarjan_offline_lca(tree, np.array([n - 1]), np.array([n // 2]))
+        assert out[0] == n // 2
+
+    def test_shape_mismatch_rejected(self, random_tree):
+        with pytest.raises(ValueError, match="shapes"):
+            tarjan_offline_lca(random_tree, np.array([1, 2]), np.array([3]))
+
+    def test_duplicate_queries(self, random_tree):
+        us = np.array([5, 5, 5])
+        vs = np.array([9, 9, 9])
+        out = tarjan_offline_lca(random_tree, us, vs)
+        assert out[0] == out[1] == out[2]

@@ -1,0 +1,88 @@
+"""Unit tests for the RootedTree structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.trees import RootedTree, low_stretch_tree
+
+
+@pytest.fixture
+def rooted_grid(grid_weighted):
+    idx = low_stretch_tree(grid_weighted, seed=0)
+    return grid_weighted, RootedTree.from_graph(grid_weighted, idx, root=0)
+
+
+class TestConstruction:
+    def test_parent_of_root_is_minus_one(self, rooted_grid):
+        _, tree = rooted_grid
+        assert tree.parent[tree.root] == -1
+
+    def test_depth_increments_along_parents(self, rooted_grid):
+        _, tree = rooted_grid
+        non_root = np.flatnonzero(tree.parent >= 0)
+        assert np.all(tree.depth[non_root] == tree.depth[tree.parent[non_root]] + 1)
+
+    def test_order_parents_first(self, rooted_grid):
+        _, tree = rooted_grid
+        position = np.empty(tree.n, dtype=int)
+        position[tree.order] = np.arange(tree.n)
+        non_root = np.flatnonzero(tree.parent >= 0)
+        assert np.all(position[tree.parent[non_root]] < position[non_root])
+
+    def test_wrong_edge_count_rejected(self, grid_weighted):
+        with pytest.raises(ValueError, match="needs"):
+            RootedTree.from_graph(grid_weighted, np.array([0, 1]))
+
+    def test_non_spanning_rejected(self, path5):
+        # Two disjoint edges + one repeated index do not span 5 vertices.
+        with pytest.raises(ValueError, match="span"):
+            RootedTree.from_graph(path5, np.array([0, 1, 1, 3]))
+
+    def test_parent_weights_match_graph(self, rooted_grid):
+        graph, tree = rooted_grid
+        non_root = np.flatnonzero(tree.parent >= 0)
+        idx = graph.edge_indices(non_root, tree.parent[non_root])
+        assert np.allclose(tree.parent_weight[non_root], graph.w[idx])
+
+
+class TestDerived:
+    def test_levels_partition_vertices(self, rooted_grid):
+        _, tree = rooted_grid
+        all_vertices = np.concatenate(tree.levels())
+        assert np.array_equal(np.sort(all_vertices), np.arange(tree.n))
+
+    def test_levels_have_right_depth(self, rooted_grid):
+        _, tree = rooted_grid
+        for d, level in enumerate(tree.levels()):
+            assert np.all(tree.depth[level] == d)
+
+    def test_subtree_sizes_root_is_n(self, rooted_grid):
+        _, tree = rooted_grid
+        sizes = tree.subtree_sizes()
+        assert sizes[tree.root] == tree.n
+        assert sizes.min() == 1
+
+    def test_subtree_sizes_sum_parent_relation(self, rooted_grid):
+        _, tree = rooted_grid
+        sizes = tree.subtree_sizes()
+        children_sum = np.zeros(tree.n, dtype=np.int64)
+        non_root = np.flatnonzero(tree.parent >= 0)
+        np.add.at(children_sum, tree.parent[non_root], sizes[non_root])
+        assert np.all(sizes == children_sum + 1)
+
+    def test_resistance_to_root_path_graph(self):
+        g = generators.path_graph(4, weights=2.0)
+        tree = RootedTree.from_graph(g, np.arange(3), root=0)
+        assert np.allclose(tree.resistance_to_root(), [0.0, 0.5, 1.0, 1.5])
+
+    def test_path_to_root_ends_at_root(self, rooted_grid):
+        _, tree = rooted_grid
+        path = tree.path_to_root(tree.n - 1)
+        assert path[-1] == tree.root
+        assert path.size == tree.depth[tree.n - 1] + 1
+
+    def test_as_graph(self, rooted_grid):
+        graph, tree = rooted_grid
+        tg = tree.as_graph(graph)
+        assert tg.num_edges == graph.n - 1

@@ -1,0 +1,88 @@
+"""Unit tests for the O(n) tree Laplacian solver."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.trees import RootedTree, TreeSolver, low_stretch_tree
+
+
+def make_solver(graph, seed=0):
+    idx = low_stretch_tree(graph, seed=seed)
+    tree = RootedTree.from_graph(graph, idx)
+    return graph.edge_subgraph(idx), TreeSolver(tree)
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: generators.path_graph(20, weights="uniform", seed=0),
+            lambda: generators.grid2d(9, 9, weights="lognormal", seed=1),
+            lambda: generators.star_graph(30, weights="uniform", seed=2),
+            lambda: generators.fem_mesh_2d(150, seed=3),
+        ],
+    )
+    def test_residual_tiny(self, graph_factory, rng):
+        graph = graph_factory()
+        tree_graph, solver = make_solver(graph)
+        b = rng.standard_normal(graph.n)
+        b -= b.mean()
+        x = solver.solve(b)
+        residual = tree_graph.laplacian() @ x - b
+        assert np.abs(residual).max() < 1e-9 * max(1.0, np.abs(b).max())
+
+    def test_matches_pseudoinverse(self, rng):
+        graph = generators.grid2d(6, 6, weights="uniform", seed=4)
+        tree_graph, solver = make_solver(graph)
+        pinv = np.linalg.pinv(tree_graph.laplacian().toarray())
+        b = rng.standard_normal(graph.n)
+        b -= b.mean()
+        assert np.allclose(solver.solve(b), pinv @ b, atol=1e-9)
+
+    def test_solution_mean_free(self, grid_weighted, rng):
+        _, solver = make_solver(grid_weighted)
+        b = rng.standard_normal(grid_weighted.n)
+        x = solver.solve(b)
+        assert abs(x.mean()) < 1e-12
+
+    def test_incompatible_rhs_projected(self, grid_weighted):
+        """RHS with nonzero mean is solved in its projected form."""
+        _, solver = make_solver(grid_weighted)
+        b = np.ones(grid_weighted.n)  # entirely in the null space
+        x = solver.solve(b)
+        assert np.abs(x).max() < 1e-12
+
+
+class TestInterface:
+    def test_multi_rhs_columns(self, grid_weighted, rng):
+        tree_graph, solver = make_solver(grid_weighted)
+        B = rng.standard_normal((grid_weighted.n, 5))
+        B -= B.mean(axis=0, keepdims=True)
+        X = solver.solve(B)
+        assert X.shape == B.shape
+        residual = tree_graph.laplacian() @ X - B
+        assert np.abs(residual).max() < 1e-9
+
+    def test_multi_rhs_matches_single(self, grid_weighted, rng):
+        _, solver = make_solver(grid_weighted)
+        B = rng.standard_normal((grid_weighted.n, 3))
+        B -= B.mean(axis=0, keepdims=True)
+        X = solver.solve(B)
+        for j in range(3):
+            assert np.allclose(X[:, j], solver.solve(B[:, j]))
+
+    def test_callable_alias(self, grid_weighted, rng):
+        _, solver = make_solver(grid_weighted)
+        b = rng.standard_normal(grid_weighted.n)
+        b -= b.mean()
+        assert np.allclose(solver(b), solver.solve(b))
+
+    def test_wrong_size_rejected(self, grid_weighted):
+        _, solver = make_solver(grid_weighted)
+        with pytest.raises(ValueError, match="rows"):
+            solver.solve(np.ones(3))
+
+    def test_nnz_reported(self, grid_weighted):
+        _, solver = make_solver(grid_weighted)
+        assert solver.nnz == 2 * (grid_weighted.n - 1)

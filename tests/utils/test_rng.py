@@ -1,0 +1,60 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_rng, random_unit_vectors, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = as_rng(7).standard_normal(5)
+        b = as_rng(7).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn_rngs(3, 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+
+class TestRandomUnitVectors:
+    def test_shape_and_norm(self):
+        V = random_unit_vectors(20, 5, seed=1)
+        assert V.shape == (20, 5)
+        assert np.allclose(np.linalg.norm(V, axis=0), 1.0)
+
+    def test_orthogonal_to_ones(self):
+        V = random_unit_vectors(30, 4, seed=2)
+        assert np.abs(V.sum(axis=0)).max() < 1e-10
+
+    def test_not_projected_when_disabled(self):
+        V = random_unit_vectors(30, 4, seed=2, orthogonal_to_ones=False)
+        assert np.abs(V.sum(axis=0)).max() > 1e-6
+
+    def test_deterministic(self):
+        a = random_unit_vectors(10, 3, seed=5)
+        b = random_unit_vectors(10, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError, match="dimension"):
+            random_unit_vectors(0, 2)
+        with pytest.raises(ValueError, match="count"):
+            random_unit_vectors(5, 0)
