@@ -124,18 +124,48 @@ class Graph:
     def from_sparse(cls, adjacency: sp.spmatrix) -> "Graph":
         """Build a graph from a (symmetric, non-negative) adjacency matrix.
 
-        Only the strict lower triangle is read, so a symmetric matrix and
-        either of its triangles produce the same graph.  Zero entries are
-        dropped; negative entries raise.
+        Both triangles are read and merged on canonical ``(min, max)``
+        endpoint pairs, so a symmetric matrix, either of its triangles, or
+        any mix of the two produce the same graph.  An edge stored in both
+        triangles must carry the same weight in each — conflicting
+        asymmetric weights raise.  Zero entries are dropped; negative
+        entries raise (via the positive-weight check).
         """
         if adjacency.shape[0] != adjacency.shape[1]:
             raise ValueError(f"adjacency must be square, got {adjacency.shape}")
-        coo = sp.tril(adjacency.tocoo(), k=-1).tocoo()
-        upper = sp.triu(adjacency.tocoo(), k=1).tocoo()
-        if coo.nnz == 0 and upper.nnz > 0:
-            coo = upper
-        mask = coo.data != 0
-        return cls(adjacency.shape[0], coo.row[mask], coo.col[mask], coo.data[mask])
+        n = adjacency.shape[0]
+        coo = adjacency.tocoo()
+        lower = sp.tril(coo, k=-1).tocoo()
+        upper = sp.triu(coo, k=1).tocoo()
+
+        def _merged(triangle: sp.coo_matrix) -> tuple[np.ndarray, np.ndarray]:
+            """Canonical keys and duplicate-summed weights of one triangle."""
+            keep = triangle.data != 0
+            lo = np.minimum(triangle.row[keep], triangle.col[keep]).astype(np.int64)
+            hi = np.maximum(triangle.row[keep], triangle.col[keep]).astype(np.int64)
+            keys = lo * np.int64(n) + hi
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            weights = np.zeros(uniq.size, dtype=np.float64)
+            np.add.at(weights, inverse, triangle.data[keep])
+            return uniq, weights
+
+        lo_keys, lo_w = _merged(lower)
+        up_keys, up_w = _merged(upper)
+        # Entries present in both triangles must agree; keep one copy.
+        both = np.intersect1d(lo_keys, up_keys, assume_unique=True)
+        if both.size:
+            wl = lo_w[np.searchsorted(lo_keys, both)]
+            wu = up_w[np.searchsorted(up_keys, both)]
+            if not np.allclose(wl, wu, rtol=1e-9, atol=0.0):
+                raise ValueError(
+                    "adjacency is asymmetric: upper- and lower-triangle "
+                    "weights disagree"
+                )
+        only_upper = np.setdiff1d(up_keys, lo_keys, assume_unique=True)
+        extra_w = up_w[np.searchsorted(up_keys, only_upper)]
+        keys = np.concatenate([lo_keys, only_upper])
+        w = np.concatenate([lo_w, extra_w])
+        return cls(n, keys // np.int64(n), keys % np.int64(n), w)
 
     # ------------------------------------------------------------------
     # Basic properties

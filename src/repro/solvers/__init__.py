@@ -1,5 +1,12 @@
-"""Linear solvers: PCG, grounded direct factorization, AMG, preconditioners."""
+"""Linear solvers: PCG, grounded direct factorization, AMG, preconditioners.
 
+All sparsifier solvers implement the :class:`~repro.solvers.base.Solver`
+protocol — batched matrix right-hand sides plus an ``update(u, v, w)``
+hook that absorbs edge additions incrementally (Woodbury corrections for
+the direct solver, in-place fine-level patches for AMG).
+"""
+
+from repro.solvers.base import Solver, csr_value_positions
 from repro.solvers.cg import SolveResult, conjugate_gradient, pcg
 from repro.solvers.cholesky import DirectSolver
 from repro.solvers.amg import AMGSolver, heavy_edge_aggregates
@@ -13,6 +20,8 @@ from repro.solvers.preconditioners import (
 )
 
 __all__ = [
+    "Solver",
+    "csr_value_positions",
     "SolveResult",
     "pcg",
     "conjugate_gradient",

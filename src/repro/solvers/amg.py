@@ -13,7 +13,15 @@ matrices:
   solve at the coarsest level.
 
 One V-cycle application is a fixed SPD operator, so it is a valid PCG
-preconditioner.
+preconditioner.  Solves are batched: a matrix right-hand side runs one
+V-cycle over all columns at once instead of cycling per column.
+
+The hierarchy is reusable across densification iterations: small edge
+batches are patched into the fine-level operator in place (values only,
+when the sparsity pattern already holds the touched entries), keeping
+smoothing and residuals exact for the updated matrix while the coarse
+grids go slightly stale.  After ``rebuild_every`` update batches
+:meth:`AMGSolver.update` returns ``False`` so the caller re-coarsens.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.solvers.base import csr_value_positions
 from repro.solvers.cholesky import DirectSolver
 from repro.utils.memory import sparse_nbytes
 from repro.utils.validation import check_square
@@ -92,6 +101,10 @@ class AMGSolver:
         a symmetric preconditioner).
     cycles:
         V-cycles per :meth:`solve`/preconditioner application.
+    rebuild_every:
+        Edge-update batches absorbed in place before :meth:`update`
+        requests a full re-coarsening (coarse grids go stale between
+        rebuilds; the fine level stays exact).
     """
 
     def __init__(
@@ -103,6 +116,7 @@ class AMGSolver:
         presmooth: int = 1,
         postsmooth: int = 1,
         cycles: int = 1,
+        rebuild_every: int = 8,
     ) -> None:
         check_square(matrix, "matrix")
         if not 0.0 < omega < 2.0:
@@ -111,6 +125,8 @@ class AMGSolver:
         self.presmooth = presmooth
         self.postsmooth = postsmooth
         self.cycles = cycles
+        self.rebuild_every = int(rebuild_every)
+        self._updates_absorbed = 0
         self.levels: list[dict] = []
         A = matrix.tocsr().astype(np.float64)
         row_sums = np.asarray(A.sum(axis=1)).ravel()
@@ -130,10 +146,41 @@ class AMGSolver:
             )
             diag = A.diagonal()
             inv_diag = np.where(diag > 0, 1.0 / np.maximum(diag, 1e-300), 0.0)
-            self.levels.append({"A": A, "P": P, "inv_diag": inv_diag})
-            A = (P.T @ A @ P).tocsr()
+            self.levels.append(
+                {"A": A, "P": P, "inv_diag": inv_diag, "labels": labels}
+            )
+            A = self._galerkin(A, P)
+        self._coarse_A = A
         self.coarse_solver = DirectSolver(A.tocsc())
         self._coarse_n = A.shape[0]
+
+    @staticmethod
+    def _galerkin(A: sp.csr_matrix, P: sp.csr_matrix) -> sp.csr_matrix:
+        """Pattern-preserving coarse operator ``Pᵀ A P``.
+
+        Sparse matmul prunes numerically-zero results, which would drop
+        the aggregate pairs reserved by explicit zeros in ``A`` (the
+        incremental engine stores the sparsifier on the host graph's
+        full pattern).  A ones-valued product never cancels, so it keeps
+        every structural pair; the numeric product is scattered into
+        that pattern, letting :meth:`update` patch coarse levels in
+        place for any edge of the host pattern.  Matrices without
+        explicit zeros have nothing to preserve and take the plain
+        single-product path.
+        """
+        if not np.any(A.data == 0.0):
+            return (P.T @ A @ P).tocsr()
+        ones = A.copy()
+        ones.data = np.ones_like(ones.data)
+        pattern = (P.T @ ones @ P).tocsr()
+        pattern.sort_indices()
+        numeric = (P.T @ A @ P).tocoo()
+        data = np.zeros_like(pattern.data)
+        pos = csr_value_positions(pattern, numeric.row, numeric.col)
+        data[pos] = numeric.data
+        return sp.csr_matrix(
+            (data, pattern.indices, pattern.indptr), shape=pattern.shape
+        )
 
     @property
     def num_levels(self) -> int:
@@ -148,18 +195,94 @@ class AMGSolver:
         )
         return total + (self.coarse_solver.factor_bytes if self._coarse_n > 1 else 0)
 
+    @staticmethod
+    def _laplacian_patch(
+        A: sp.csr_matrix, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Positions/values to add edges ``(u, v, w)`` to a Laplacian-like
+        CSR matrix in place, or ``None`` when the pattern lacks an entry."""
+        pos = csr_value_positions(
+            A,
+            np.concatenate([u, v, u, v]),
+            np.concatenate([v, u, u, v]),
+        )
+        if np.any(pos < 0):
+            return None
+        return pos, np.concatenate([-w, -w, w, w])
+
+    def update(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> bool:
+        """Absorb added edges ``(u_i, v_i, w_i)`` into the whole hierarchy.
+
+        The Galerkin projection of a fine-level edge is exactly the edge
+        between its endpoints' aggregates (it vanishes when both share
+        one), so the batch is pushed down through the stored aggregation
+        maps and every level's operator — plus the coarsest direct
+        solver, via its own Woodbury hook — is patched in place.  The
+        hierarchy then solves the *new* matrix exactly; only the
+        aggregation choice itself goes stale, which is why the solver
+        still requests a rebuild (returns ``False``) after
+        ``rebuild_every`` batches, or when an added edge falls outside a
+        level's sparsity pattern.
+        """
+        u = np.atleast_1d(np.asarray(u, dtype=np.int64))
+        v = np.atleast_1d(np.asarray(v, dtype=np.int64))
+        w = np.atleast_1d(np.asarray(w, dtype=np.float64))
+        if u.size == 0:
+            return True
+        if self._updates_absorbed >= self.rebuild_every:
+            return False
+        # First pass: locate every level's patch so a pattern miss on a
+        # coarse level cannot leave the hierarchy partially updated.
+        patches = []
+        cu, cv, cw = u, v, w
+        for level in self.levels:
+            patch = self._laplacian_patch(level["A"], cu, cv, cw)
+            if patch is None:
+                return False
+            patches.append((level, cu, cv, patch))
+            coarse_u = level["labels"][cu]
+            coarse_v = level["labels"][cv]
+            keep = coarse_u != coarse_v  # intra-aggregate edges vanish
+            cu, cv, cw = coarse_u[keep], coarse_v[keep], cw[keep]
+            if cu.size == 0:
+                break
+        coarse_patch = None
+        if cu.size:
+            coarse_patch = self._laplacian_patch(self._coarse_A, cu, cv, cw)
+            if coarse_patch is None:
+                return False
+        # Second pass: apply.  The tail half of each patch's positions
+        # addresses the (u, u)/(v, v) diagonal entries, so the Jacobi
+        # diagonals refresh in O(batch) without materializing diagonal().
+        for level, lu, lv, (pos, vals) in patches:
+            A = level["A"]
+            np.add.at(A.data, pos, vals)
+            touched = np.concatenate([lu, lv])
+            diag = A.data[pos[2 * lu.size:]]
+            level["inv_diag"][touched] = np.where(
+                diag > 0, 1.0 / np.maximum(diag, 1e-300), 0.0
+            )
+        if coarse_patch is not None:
+            pos, vals = coarse_patch
+            np.add.at(self._coarse_A.data, pos, vals)
+            if not self.coarse_solver.update(cu, cv, cw):
+                self.coarse_solver = DirectSolver(self._coarse_A.tocsc())
+        self._updates_absorbed += 1
+        return True
+
     def _smooth(self, A: sp.csr_matrix, inv_diag: np.ndarray, x: np.ndarray,
                 b: np.ndarray, sweeps: int) -> np.ndarray:
         for _ in range(sweeps):
-            x = x + self.omega * inv_diag * (b - A @ x)
+            x = x + self.omega * inv_diag[:, None] * (b - A @ x)
         return x
 
     def _vcycle(self, level: int, b: np.ndarray) -> np.ndarray:
+        """One V-cycle on a batched ``(n, r)`` right-hand side."""
         if level == len(self.levels):
             return self.coarse_solver.solve(b)
         data = self.levels[level]
         A, P, inv_diag = data["A"], data["P"], data["inv_diag"]
-        x = self.omega * inv_diag * b  # first Jacobi sweep from x = 0
+        x = self.omega * inv_diag[:, None] * b  # first Jacobi sweep from x = 0
         x = self._smooth(A, inv_diag, x, b, self.presmooth - 1)
         residual = b - A @ x
         coarse = self._vcycle(level + 1, P.T @ residual)
@@ -168,24 +291,23 @@ class AMGSolver:
         return x
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Apply ``cycles`` V-cycles to approximate ``A⁻¹ b`` (or ``A⁺ b``)."""
+        """Apply ``cycles`` V-cycles to approximate ``A⁻¹ b`` (or ``A⁺ b``).
+
+        Matrix right-hand sides are solved in one batched pass — every
+        smoothing sweep and transfer acts on all columns at once.
+        """
         b = np.asarray(b, dtype=np.float64)
         single = b.ndim == 1
-        if single:
-            b = b[:, None]
-        out = np.empty_like(b)
-        for j in range(b.shape[1]):
-            rhs = b[:, j]
-            if self.singular:
-                rhs = rhs - rhs.mean()
-            x = self._vcycle(0, rhs)
-            for _ in range(self.cycles - 1):
-                x = x + self._vcycle(0, rhs - self.levels[0]["A"] @ x if self.levels
-                                     else rhs)
-            if self.singular:
-                x = x - x.mean()
-            out[:, j] = x
-        return out[:, 0] if single else out
+        rhs = b[:, None] if single else b
+        if self.singular:
+            rhs = rhs - rhs.mean(axis=0, keepdims=True)
+        x = self._vcycle(0, rhs)
+        fine = self.levels[0]["A"] if self.levels else self._coarse_A
+        for _ in range(self.cycles - 1):
+            x = x + self._vcycle(0, rhs - fine @ x)
+        if self.singular:
+            x = x - x.mean(axis=0, keepdims=True)
+        return x[:, 0] if single else x
 
     def __call__(self, b: np.ndarray) -> np.ndarray:
         """Preconditioner-style application."""

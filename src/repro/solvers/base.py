@@ -1,0 +1,75 @@
+"""Common solver protocol for the incremental densification engine.
+
+Every sparsifier solver (tree solver, direct factorization, AMG) applies
+``L_P⁺`` to one vector or to the columns of an ``(n, r)`` matrix, and
+exposes an :meth:`Solver.update` hook that absorbs a batch of edge
+additions *without* rebuilding from scratch when it can.  ``update``
+returning ``False`` is the solver saying "my cheap incremental options
+are exhausted" — the caller (normally
+:class:`repro.sparsify.state.SparsifierState`) then rebuilds a fresh
+solver from the incrementally maintained Laplacian.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Solver", "csr_value_positions"]
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Protocol shared by :class:`TreeSolver`, :class:`DirectSolver`
+    and :class:`AMGSolver`.
+
+    ``solve`` accepts a vector or an ``(n, r)`` matrix right-hand side
+    and applies ``L⁻¹`` (or ``L⁺`` for singular Laplacians) column-wise
+    in one batched call.
+    """
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Apply the (pseudo)inverse to ``b`` (vector or matrix RHS)."""
+        ...
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        """Preconditioner-style alias for :meth:`solve`."""
+        ...
+
+    def update(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> bool:
+        """Absorb the edge batch ``(u[i], v[i], w[i])`` incrementally.
+
+        Returns ``True`` when the solver now solves the updated matrix
+        (exactly or, for AMG, with a refreshed fine level); ``False``
+        when the caller should rebuild the solver from scratch.
+        """
+        ...
+
+
+def csr_value_positions(
+    matrix: sp.csr_matrix, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Index into ``matrix.data`` of each ``(rows[i], cols[i])`` entry.
+
+    Entries absent from the sparsity pattern get ``-1``.  Requires (and
+    enforces) sorted column indices, so the flattened ``row * n + col``
+    keys of the stored entries are globally sorted and one vectorized
+    ``searchsorted`` locates every query.
+    """
+    if not matrix.has_sorted_indices:
+        matrix.sort_indices()
+    n = matrix.shape[1]
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    nnz_rows = np.repeat(
+        np.arange(matrix.shape[0], dtype=np.int64), np.diff(matrix.indptr)
+    )
+    keys = nnz_rows * np.int64(n) + matrix.indices
+    queries = rows * np.int64(n) + cols
+    pos = np.searchsorted(keys, queries)
+    pos = np.clip(pos, 0, max(keys.size - 1, 0))
+    if keys.size == 0:
+        return np.full(queries.shape, -1, dtype=np.int64)
+    return np.where(keys[pos] == queries, pos, -1)

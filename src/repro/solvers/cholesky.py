@@ -6,11 +6,25 @@ matrix is positive definite — and solutions are re-centered so the
 solver applies the pseudoinverse ``L⁺`` on ``1⊥``.  SuperLU supplies
 the factorization; its L/U nonzero count is the "memory" column of the
 paper's Table 3.
+
+Small batches of edge additions are absorbed *without* re-factorizing:
+adding edges ``(u_i, v_i, w_i)`` perturbs the (grounded) matrix by the
+low-rank term ``U W Uᵀ`` with ``U`` the incidence columns
+``e_{u_i} − e_{v_i}``, so solves against the updated matrix follow from
+the Woodbury identity
+
+    (A + U W Uᵀ)⁻¹ b = A⁻¹ b − Z (W⁻¹ + Uᵀ Z)⁻¹ Uᵀ A⁻¹ b,   Z = A⁻¹ U.
+
+Only when the accumulated update rank crosses ``max_update_rank`` does
+:meth:`DirectSolver.update` ask the caller for a fresh factorization —
+this is what makes the densification loop's per-iteration cost scale
+with the *change* instead of the sparsifier size.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
@@ -31,6 +45,17 @@ class DirectSolver:
         connected graph), the system is solved in grounded form.
     ground_vertex:
         Vertex to ground when the matrix is singular (default 0).
+    max_update_rank:
+        Cap on the accumulated rank of Woodbury edge updates before
+        :meth:`update` requests a re-factorization.  Memory for the
+        update state is ``O(n · max_update_rank)``.  Absorbing ``k``
+        edges costs ``k`` triangular solves up front, so Woodbury only
+        beats re-factorizing for batches well below the factorization
+        cost in solve-equivalents (tens of edges on planar-scale
+        problems, growing with ``n``); batches above the cap are
+        rejected wholesale — deliberately, since partially absorbing
+        would misrepresent the matrix and absorbing huge batches would
+        cost more than the factorization they avoid.
 
     Notes
     -----
@@ -40,9 +65,15 @@ class DirectSolver:
     the RHS to enforce this.
     """
 
-    def __init__(self, matrix: sp.spmatrix, ground_vertex: int = 0) -> None:
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        ground_vertex: int = 0,
+        max_update_rank: int = 64,
+    ) -> None:
         check_square(matrix, "matrix")
         self.n = matrix.shape[0]
+        self.max_update_rank = int(max_update_rank)
         row_sums = np.asarray(matrix.sum(axis=1)).ravel()
         scale = max(1.0, float(np.abs(matrix.diagonal()).max()) if self.n else 1.0)
         self.singular = bool(np.all(np.abs(row_sums) <= 1e-9 * scale))
@@ -59,6 +90,14 @@ class DirectSolver:
         else:
             self._lu = spla.splu(matrix.tocsc())
             self._keep = None
+        # Accumulated Woodbury update: U (incidence columns of the added
+        # edges, restricted to the kept rows when grounded), Z = A⁻¹U and
+        # the Cholesky factor of the capacitance W⁻¹ + UᵀZ.
+        self._update_U: np.ndarray | None = None
+        self._update_Z: np.ndarray | None = None
+        self._update_M: np.ndarray | None = None
+        self._update_w = np.empty(0, dtype=np.float64)
+        self._update_cap: tuple[np.ndarray, bool] | None = None
 
     @property
     def factor_bytes(self) -> int:
@@ -74,6 +113,68 @@ class DirectSolver:
             return 0
         return int(self._lu.L.nnz + self._lu.U.nnz)
 
+    @property
+    def update_rank(self) -> int:
+        """Rank of the edge updates absorbed since the factorization."""
+        return int(self._update_w.size)
+
+    def update(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> bool:
+        """Absorb added edges ``(u_i, v_i, w_i)`` via a Woodbury correction.
+
+        Returns ``False`` (leaving the solver unchanged) when the
+        accumulated rank would cross ``max_update_rank`` or the solver
+        has no factorization to correct — the caller should then rebuild
+        from the updated matrix.
+        """
+        u = np.atleast_1d(np.asarray(u, dtype=np.int64))
+        v = np.atleast_1d(np.asarray(v, dtype=np.int64))
+        w = np.atleast_1d(np.asarray(w, dtype=np.float64))
+        if u.size == 0:
+            return True
+        if self._lu is None:
+            return False
+        if self.update_rank + u.size > self.max_update_rank:
+            return False
+        cols = np.arange(u.size)
+        U_new = np.zeros((self.n, u.size), dtype=np.float64)
+        np.add.at(U_new, (u, cols), 1.0)
+        np.add.at(U_new, (v, cols), -1.0)
+        if self.singular:
+            U_new = U_new[self._keep]
+        Z_new = self._lu.solve(U_new)
+        new_block = np.diag(1.0 / w) + U_new.T @ Z_new
+        if self._update_U is None:
+            U, Z, capacitance = U_new, Z_new, new_block
+        else:
+            # Grow the capacitance by its new blocks only: the existing
+            # k x k body is unchanged, so per-batch cost stays
+            # proportional to the batch, not the accumulated rank.
+            cross = self._update_U.T @ Z_new
+            capacitance = np.block(
+                [[self._update_M, cross], [cross.T, new_block]]
+            )
+            U = np.hstack([self._update_U, U_new])
+            Z = np.hstack([self._update_Z, Z_new])
+        try:
+            cap = scipy.linalg.cho_factor(capacitance)
+        except scipy.linalg.LinAlgError:  # pragma: no cover - defensive
+            return False
+        self._update_U, self._update_Z = U, Z
+        self._update_M = capacitance
+        self._update_w = np.concatenate([self._update_w, w])
+        self._update_cap = cap
+        return True
+
+    def _base_solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Factorized solve plus the accumulated Woodbury correction."""
+        x = self._lu.solve(rhs)
+        if self._update_cap is not None:
+            correction = scipy.linalg.cho_solve(
+                self._update_cap, self._update_U.T @ x
+            )
+            x = x - self._update_Z @ correction
+        return x
+
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve for one vector or each column of a matrix."""
         b = np.asarray(b, dtype=np.float64)
@@ -83,13 +184,13 @@ class DirectSolver:
         if b.shape[0] != self.n:
             raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
         if not self.singular:
-            x = self._lu.solve(b)
+            x = self._base_solve(b)
             return x[:, 0] if single else x
         # Singular path: project RHS, solve grounded, re-center.
         rhs = b - b.mean(axis=0, keepdims=True)
         x = np.zeros_like(rhs)
         if self._lu is not None:
-            x[self._keep] = self._lu.solve(rhs[self._keep])
+            x[self._keep] = self._base_solve(rhs[self._keep])
         x -= x.mean(axis=0, keepdims=True)
         return x[:, 0] if single else x
 

@@ -12,6 +12,7 @@ from repro.sparsify.filtering import (
     normalized_heats,
 )
 from repro.sparsify.edge_similarity import select_dissimilar
+from repro.sparsify.state import SparsifierState
 from repro.sparsify.densify import DensifyIteration, DensifyResult, densify
 from repro.sparsify.similarity_aware import (
     SimilarityAwareSparsifier,
@@ -50,6 +51,7 @@ __all__ = [
     "normalized_heats",
     "filter_edges",
     "select_dissimilar",
+    "SparsifierState",
     "DensifyIteration",
     "DensifyResult",
     "densify",

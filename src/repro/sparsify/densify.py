@@ -2,33 +2,37 @@
 
 Starting from the spanning-tree backbone, each densification iteration:
 
-1. rebuilds the sparsifier's solver (tree solver while the sparsifier is
-   a pure tree; factorization or AMG afterwards — the paper's [13, 24]);
+1. refreshes the sparsifier's solver *incrementally* (tree solver while
+   the sparsifier is a pure tree; factorization or AMG afterwards — the
+   paper's [13, 24] — updated in place for small batches via
+   :class:`~repro.sparsify.state.SparsifierState`);
 2. estimates the spectral similarity via λmax (generalized power
-   iterations, §3.6.1) and λmin (node coloring, Eq. 18);
+   iterations, §3.6.1) and λmin (node coloring, Eq. 18, from cached
+   degrees);
 3. stops when λmax/λmin ≤ σ²;
 4. computes off-tree Joule heats with ``t``-step power iterations over
    ``O(log |V|)`` random vectors (Eqs. 6, 12);
 5. filters edges with the θ_σ threshold (Eq. 15);
 6. adds only *dissimilar* filtered edges to the sparsifier.
+
+The host Laplacian is built once and shared across iterations, and the
+evolving sparsifier (mask, Laplacian, degrees, solver) lives in a
+:class:`SparsifierState` so per-iteration cost scales with the edge
+batch, not the sparsifier size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.solvers.amg import AMGSolver
-from repro.solvers.cholesky import DirectSolver
 from repro.sparsify.edge_embedding import joule_heats
 from repro.sparsify.edge_similarity import select_dissimilar
 from repro.sparsify.filtering import filter_edges, heat_threshold
-from repro.spectral.extreme import estimate_lambda_max, estimate_lambda_min
-from repro.trees.tree import RootedTree
-from repro.trees.tree_solver import TreeSolver
+from repro.sparsify.state import SparsifierState
+from repro.spectral.extreme import generalized_power_iteration
 from repro.utils.rng import as_rng
 from repro.utils.timing import Timer
 
@@ -88,27 +92,6 @@ class DensifyResult:
         return int(self.edge_mask.sum())
 
 
-def _build_solver(
-    graph: Graph,
-    edge_mask: np.ndarray,
-    tree_indices: np.ndarray,
-    is_pure_tree: bool,
-    method: str,
-) -> Callable[[np.ndarray], np.ndarray]:
-    """Solver applying ``L_P⁺`` for the current sparsifier ``P``."""
-    if is_pure_tree:
-        tree = RootedTree.from_graph(graph, tree_indices)
-        return TreeSolver(tree)
-    sparsifier = graph.edge_subgraph(edge_mask)
-    if method == "auto":
-        method = "cholesky" if graph.n <= 200_000 else "amg"
-    if method == "cholesky":
-        return DirectSolver(sparsifier.laplacian().tocsc())
-    if method == "amg":
-        return AMGSolver(sparsifier.laplacian(), cycles=2)
-    raise ValueError(f"unknown solver method {method!r}")
-
-
 def densify(
     graph: Graph,
     tree_indices: np.ndarray,
@@ -122,6 +105,8 @@ def densify(
     solver_method: str = "auto",
     seed: int | np.random.Generator | None = None,
     initial_mask: np.ndarray | None = None,
+    max_update_rank: int = 64,
+    amg_rebuild_every: int = 8,
 ) -> DensifyResult:
     """Run the Section-3.7 densification loop until σ² is reached.
 
@@ -158,6 +143,13 @@ def densify(
         Optional starting sparsifier mask (must contain the tree) — the
         §3.1(c) *incremental improvement* path: densification resumes
         from an existing sparsifier instead of the bare tree.
+    max_update_rank:
+        Woodbury budget for the direct solver: accumulated edge-update
+        rank absorbed before a re-factorization (see
+        :class:`~repro.solvers.cholesky.DirectSolver`).
+    amg_rebuild_every:
+        Update batches an AMG hierarchy absorbs in place before it is
+        re-coarsened (see :class:`~repro.solvers.amg.AMGSolver`).
 
     Returns
     -------
@@ -168,37 +160,28 @@ def densify(
     if max_iterations < 1:
         raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
     rng = as_rng(seed)
-    tree_indices = np.asarray(tree_indices, dtype=np.int64)
-    if initial_mask is None:
-        edge_mask = np.zeros(graph.num_edges, dtype=bool)
-        edge_mask[tree_indices] = True
-        is_pure_tree = True
-    else:
-        edge_mask = np.asarray(initial_mask, dtype=bool).copy()
-        if edge_mask.shape != (graph.num_edges,):
-            raise ValueError(
-                f"initial_mask must have shape ({graph.num_edges},), "
-                f"got {edge_mask.shape}"
-            )
-        if not np.all(edge_mask[tree_indices]):
-            raise ValueError("initial_mask must contain every tree edge")
-        is_pure_tree = bool(edge_mask.sum() == tree_indices.size)
+    state = SparsifierState(
+        graph,
+        tree_indices,
+        initial_mask=initial_mask,
+        solver_method=solver_method,
+        max_update_rank=max_update_rank,
+        amg_rebuild_every=amg_rebuild_every,
+    )
     if max_edges_per_iteration is None:
         max_edges_per_iteration = max(100, int(0.05 * graph.n))
 
+    LG = state.host_laplacian
     result = DensifyResult(
-        edge_mask=edge_mask, converged=False, sigma2_target=float(sigma2)
+        edge_mask=state.edge_mask, converged=False, sigma2_target=float(sigma2)
     )
     for iteration in range(1, max_iterations + 1):
         with Timer() as timer:
-            solver = _build_solver(
-                graph, edge_mask, tree_indices, is_pure_tree, solver_method
+            solver = state.solver()
+            lam_max = generalized_power_iteration(
+                LG, state.laplacian, solver, iterations=power_iterations, seed=rng
             )
-            sparsifier = graph.edge_subgraph(edge_mask)
-            lam_max = estimate_lambda_max(
-                graph, sparsifier, solver, iterations=power_iterations, seed=rng
-            )
-            lam_min = estimate_lambda_min(graph, sparsifier)
+            lam_min = state.lambda_min()
             sigma2_estimate = lam_max / lam_min
             if sigma2_estimate <= sigma2:
                 result.iterations.append(
@@ -210,15 +193,16 @@ def densify(
                         threshold=1.0,
                         num_candidates=0,
                         num_added=0,
-                        num_edges=int(edge_mask.sum()),
+                        num_edges=state.num_edges,
                         elapsed=timer.lap(),
                     )
                 )
                 result.converged = True
                 break
-            off_tree = np.flatnonzero(~edge_mask)
+            off_tree = np.flatnonzero(~state.edge_mask)
             heats = joule_heats(
-                graph, solver, off_tree, t=t, num_vectors=num_vectors, seed=rng
+                graph, solver, off_tree, t=t, num_vectors=num_vectors, seed=rng,
+                LG=LG,
             )
             threshold = heat_threshold(sigma2, lam_min, lam_max, t=t)
             decision = filter_edges(heats, threshold)
@@ -227,9 +211,7 @@ def densify(
                 graph, candidates, max_edges=max_edges_per_iteration,
                 mode=similarity_mode,
             )
-            edge_mask[added] = True
-            if added.size:
-                is_pure_tree = False
+            state.add_edges(added)
         result.iterations.append(
             DensifyIteration(
                 iteration=iteration,
@@ -239,7 +221,7 @@ def densify(
                 threshold=decision.threshold,
                 num_candidates=int(candidates.size),
                 num_added=int(added.size),
-                num_edges=int(edge_mask.sum()),
+                num_edges=state.num_edges,
                 elapsed=timer.elapsed,
             )
         )
@@ -248,5 +230,5 @@ def densify(
             # unmet — the estimates have converged as far as the
             # embedding can certify.
             break
-    result.edge_mask = edge_mask
+    result.edge_mask = state.edge_mask
     return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.graphs.graph import Graph
 from repro.utils.rng import as_rng, random_unit_vectors
@@ -37,8 +38,13 @@ def power_iterate(
     t: int = 2,
     num_vectors: int | None = None,
     seed: int | np.random.Generator | None = None,
+    LG: sp.spmatrix | None = None,
 ) -> np.ndarray:
     """Return ``h_t = (L_P⁺ L_G)^t h₀`` for ``num_vectors`` random starts.
+
+    The ``(n, r)`` probe block is propagated through one batched solve
+    per power step — solvers accept matrix right-hand sides, so no
+    per-column solve loop is needed.
 
     Parameters
     ----------
@@ -53,6 +59,9 @@ def power_iterate(
         Number of probe vectors ``r``; default ``O(log n)``.
     seed:
         Randomness for the starting vectors.
+    LG:
+        Optional precomputed host Laplacian — pass it when calling in a
+        loop (the densification engine hoists it once per run).
 
     Returns
     -------
@@ -65,7 +74,8 @@ def power_iterate(
         raise ValueError(f"num_vectors must be >= 1, got {r}")
     rng = as_rng(seed)
     H = random_unit_vectors(graph.n, r, seed=rng)
-    LG = graph.laplacian()
+    if LG is None:
+        LG = graph.laplacian()
     for _ in range(t):
         H = solve_P(LG @ H)
         H = H - H.mean(axis=0, keepdims=True)
@@ -79,6 +89,7 @@ def joule_heats(
     t: int = 2,
     num_vectors: int | None = None,
     seed: int | np.random.Generator | None = None,
+    LG: sp.spmatrix | None = None,
 ) -> np.ndarray:
     """Joule heat of each off-tree edge (Eq. 6 summed over probes, Eq. 12).
 
@@ -90,7 +101,7 @@ def joule_heats(
         Callable applying the current sparsifier's ``L_P⁺``.
     off_tree_indices:
         Canonical indices of the off-tree edges to score.
-    t, num_vectors, seed:
+    t, num_vectors, seed, LG:
         Power-iteration parameters (see :func:`power_iterate`).
 
     Returns
@@ -99,7 +110,8 @@ def joule_heats(
     ``off_tree_indices``.
     """
     off_tree_indices = np.asarray(off_tree_indices, dtype=np.int64)
-    H = power_iterate(graph, solve_P, t=t, num_vectors=num_vectors, seed=seed)
+    H = power_iterate(graph, solve_P, t=t, num_vectors=num_vectors, seed=seed,
+                      LG=LG)
     u = graph.u[off_tree_indices]
     v = graph.v[off_tree_indices]
     w = graph.w[off_tree_indices]

@@ -51,6 +51,8 @@ def select_dissimilar(
     Selected canonical edge indices in processing order.
     """
     candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
+    if max_edges is not None and max_edges < 0:
+        raise ValueError(f"max_edges must be >= 0, got {max_edges}")
     if mode == "none":
         if max_edges is not None:
             return candidate_indices[:max_edges]
@@ -62,6 +64,8 @@ def select_dissimilar(
     selected: list[int] = []
     adjacency = graph.adjacency() if mode == "neighborhood" else None
     for e in candidate_indices:
+        if len(selected) >= cap:
+            break
         p, q = int(graph.u[e]), int(graph.v[e])
         if marked[p] and marked[q]:
             continue  # spectrally similar to an already-selected edge
@@ -70,6 +74,4 @@ def select_dissimilar(
             marked[adjacency.indices[adjacency.indptr[p]:adjacency.indptr[p + 1]]] = True
             marked[adjacency.indices[adjacency.indptr[q]:adjacency.indptr[q + 1]]] = True
         selected.append(int(e))
-        if len(selected) >= cap:
-            break
     return np.asarray(selected, dtype=np.int64)

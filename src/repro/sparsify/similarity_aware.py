@@ -124,6 +124,24 @@ class SimilarityAwareSparsifier:
     solver_method:
         Sparsifier solver once off-tree edges exist (``"auto"``,
         ``"cholesky"``, ``"amg"``).
+    max_update_rank:
+        Incremental-solver knob: the direct solver absorbs edge batches
+        as Woodbury low-rank corrections until their accumulated rank
+        crosses this threshold, and only then re-factorizes.  Absorbing
+        ``k`` edges costs ``k`` triangular solves, so this pays for
+        batches far smaller than a factorization — the tail iterations,
+        :func:`refine_sparsifier` passes, and runs with a small
+        ``max_edges_per_iteration``.  Under the default per-iteration
+        edge cap (``max(100, 5% · n)``) early batches exceed the rank
+        budget and re-factorize, which is the cheaper choice there.
+        Raise it on large graphs where factorizations dominate (memory
+        cost is ``O(n · rank)``); set it to 0 to force the
+        pre-incremental rebuild-every-iteration behaviour.
+    amg_rebuild_every:
+        Incremental-solver knob: number of densification edge batches an
+        AMG hierarchy absorbs in place (fine-level value patches, coarse
+        grids kept) before it is re-coarsened from the current
+        sparsifier Laplacian.
     seed:
         Randomness for trees, estimators and embeddings.
 
@@ -148,6 +166,8 @@ class SimilarityAwareSparsifier:
         max_edges_per_iteration: int | None = None,
         similarity_mode: str = "endpoint",
         solver_method: str = "auto",
+        max_update_rank: int = 64,
+        amg_rebuild_every: int = 8,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if sigma2 <= 1.0:
@@ -161,6 +181,8 @@ class SimilarityAwareSparsifier:
         self.max_edges_per_iteration = max_edges_per_iteration
         self.similarity_mode = similarity_mode
         self.solver_method = solver_method
+        self.max_update_rank = max_update_rank
+        self.amg_rebuild_every = amg_rebuild_every
         self.seed = seed
 
     def sparsify(self, graph: Graph) -> SparsifyResult:
@@ -187,6 +209,8 @@ class SimilarityAwareSparsifier:
                 max_edges_per_iteration=self.max_edges_per_iteration,
                 similarity_mode=self.similarity_mode,
                 solver_method=self.solver_method,
+                max_update_rank=self.max_update_rank,
+                amg_rebuild_every=self.amg_rebuild_every,
                 seed=rng,
             )
         sparsifier = graph.edge_subgraph(dens.edge_mask)

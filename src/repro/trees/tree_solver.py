@@ -62,6 +62,16 @@ class TreeSolver:
         """Nonzeros of the implicit factorization (2 per tree edge)."""
         return 2 * (self.n - 1)
 
+    def update(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> bool:
+        """Edge additions turn the tree into a general graph.
+
+        The two-sweep solve is exact only for trees, so any non-empty
+        batch asks the caller to rebuild with a general sparsifier
+        solver (:class:`~repro.solvers.cholesky.DirectSolver` or
+        :class:`~repro.solvers.amg.AMGSolver`).
+        """
+        return np.atleast_1d(np.asarray(u)).size == 0
+
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Apply ``L_T⁺`` to one vector or to each column of a matrix."""
         b = np.asarray(b, dtype=np.float64)

@@ -33,8 +33,14 @@ class Timer:
             self.elapsed = time.perf_counter() - self._start
 
     def restart(self) -> None:
-        """Reset the start time (for manual lap timing)."""
+        """Reset the start time and clear any previously stored interval.
+
+        Without clearing, lap-style reuse (``restart()`` followed by an
+        exception or an early exit before ``__exit__``) would report the
+        *previous* interval's ``elapsed``.
+        """
         self._start = time.perf_counter()
+        self.elapsed = 0.0
 
     def lap(self) -> float:
         """Seconds since construction/:meth:`restart` without stopping."""

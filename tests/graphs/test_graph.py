@@ -85,6 +85,41 @@ class TestConstructors:
         with pytest.raises(ValueError, match="square"):
             Graph.from_sparse(sp.csr_matrix((2, 3)))
 
+    def test_from_sparse_mixed_triangles(self):
+        """Regression: an upper-only edge must survive alongside a
+        lower-only edge instead of being silently dropped."""
+        a = sp.coo_matrix(
+            (np.array([2.0, 3.0]), (np.array([0, 2]), np.array([1, 1]))),
+            shape=(3, 3),
+        )  # (0,1) stored upper-only, (1,2) stored lower-only
+        g = Graph.from_sparse(a)
+        assert g.num_edges == 2
+        assert g.edge_indices(np.array([0, 1]), np.array([1, 2])).min() >= 0
+        idx = g.edge_indices(np.array([0]), np.array([1]))[0]
+        assert g.w[idx] == pytest.approx(2.0)
+
+    def test_from_sparse_both_triangles_not_doubled(self, triangle):
+        """An edge stored symmetrically keeps its weight (not 2w)."""
+        g = Graph.from_sparse(triangle.adjacency())
+        assert g == triangle
+
+    def test_from_sparse_conflicting_weights_raise(self):
+        a = sp.coo_matrix(
+            (np.array([1.0, 5.0]), (np.array([0, 1]), np.array([1, 0]))),
+            shape=(2, 2),
+        )
+        with pytest.raises(ValueError, match="asymmetric"):
+            Graph.from_sparse(a)
+
+    def test_from_sparse_duplicate_entries_summed_per_triangle(self):
+        a = sp.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([1, 1]), np.array([0, 0]))),
+            shape=(2, 2),
+        )
+        g = Graph.from_sparse(a)
+        assert g.num_edges == 1
+        assert g.w[0] == pytest.approx(3.0)
+
 
 class TestMatrixViews:
     def test_adjacency_symmetric(self, grid_weighted):

@@ -3,13 +3,16 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.solvers import DirectSolver
 from repro.sparsify import (
+    SparsifierState,
     exact_condition_number,
     heat_threshold,
     normalized_heats,
     quadratic_form_ratios,
     sparsify_graph,
 )
+from repro.trees import kruskal
 
 from tests.property.test_property_trees import connected_graphs
 
@@ -69,3 +72,58 @@ class TestPipelineInvariants:
         tight = sparsify_graph(graph, sigma2=5.0, seed=0)
         loose = sparsify_graph(graph, sigma2=500.0, seed=0)
         assert tight.sparsifier.num_edges >= loose.sparsifier.num_edges
+
+
+class TestIncrementalStateProperties:
+    @given(connected_graphs(max_n=18), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_laplacian_matches_from_scratch(self, graph, seed):
+        """After every batch, the state's Laplacian and degrees equal the
+        from-scratch ``edge_subgraph(mask).laplacian()`` rebuild."""
+        tree = kruskal(graph)
+        state = SparsifierState(graph, tree)
+        rng = np.random.default_rng(seed)
+        while True:
+            off = np.flatnonzero(~state.edge_mask)
+            if off.size == 0:
+                break
+            batch = rng.choice(
+                off, size=int(rng.integers(1, off.size + 1)), replace=False
+            )
+            state.add_edges(batch)
+            ref = graph.edge_subgraph(state.edge_mask)
+            assert np.allclose(
+                state.pruned_laplacian().toarray(),
+                ref.laplacian().toarray(),
+                rtol=1e-12,
+                atol=1e-12,
+            )
+            assert np.allclose(
+                state.weighted_degrees(), ref.weighted_degrees(), rtol=1e-12
+            )
+
+    @given(connected_graphs(max_n=16), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_woodbury_solves_match_fresh_factorization(self, graph, seed):
+        """Woodbury-updated solves agree with a fresh factorization of
+        the updated Laplacian to 1e-8."""
+        tree = kruskal(graph)
+        mask = np.zeros(graph.num_edges, dtype=bool)
+        mask[tree] = True
+        off = np.flatnonzero(~mask)
+        if off.size == 0:
+            return
+        solver = DirectSolver(
+            graph.edge_subgraph(mask).laplacian().tocsc(),
+            max_update_rank=off.size,
+        )
+        rng = np.random.default_rng(seed)
+        batch = rng.choice(
+            off, size=int(rng.integers(1, off.size + 1)), replace=False
+        )
+        assert solver.update(graph.u[batch], graph.v[batch], graph.w[batch])
+        mask[batch] = True
+        fresh = DirectSolver(graph.edge_subgraph(mask).laplacian().tocsc())
+        b = rng.standard_normal(graph.n)
+        b -= b.mean()
+        assert np.allclose(solver.solve(b), fresh.solve(b), atol=1e-8)

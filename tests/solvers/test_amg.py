@@ -113,3 +113,16 @@ class TestSolving:
         one = AMGSolver(L, cycles=1).solve(b)
         three = AMGSolver(L, cycles=3).solve(b)
         assert np.linalg.norm(L @ three - b) < np.linalg.norm(L @ one - b)
+
+    def test_multiple_cycles_exact_on_coarse_only_hierarchy(self, rng):
+        """Regression: with zero levels (n <= coarse_size) extra cycles
+        used to re-add the full solve instead of a residual correction,
+        returning ``cycles * A⁺ b``."""
+        g = generators.grid2d(6, 6, weights="uniform", seed=6)
+        L = g.laplacian()
+        b = rng.standard_normal(g.n)
+        b -= b.mean()
+        amg = AMGSolver(L, cycles=2)
+        assert amg.num_levels == 1
+        x = amg.solve(b)
+        assert np.linalg.norm(L @ x - b) < 1e-8 * np.linalg.norm(b)

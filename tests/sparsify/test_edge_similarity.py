@@ -31,6 +31,20 @@ class TestEndpointMode:
         chosen = select_dissimilar(fan_graph, order, max_edges=2, mode="endpoint")
         assert chosen.size == 2
 
+    @pytest.mark.parametrize("mode", ["endpoint", "neighborhood", "none"])
+    def test_zero_cap_selects_nothing(self, fan_graph, mode):
+        """Regression: the cap used to be checked *after* appending, so
+        ``max_edges=0`` returned one edge."""
+        chosen = select_dissimilar(
+            fan_graph, np.array([0, 1, 2]), max_edges=0, mode=mode
+        )
+        assert chosen.size == 0
+
+    @pytest.mark.parametrize("mode", ["endpoint", "neighborhood", "none"])
+    def test_negative_cap_rejected(self, fan_graph, mode):
+        with pytest.raises(ValueError, match="max_edges"):
+            select_dissimilar(fan_graph, np.array([0]), max_edges=-1, mode=mode)
+
     def test_processing_order_matters(self, fan_graph):
         """The highest-heat (first) edge always wins its neighbourhood."""
         chosen = select_dissimilar(fan_graph, np.array([2, 0, 1]), mode="endpoint")

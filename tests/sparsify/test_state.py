@@ -1,0 +1,200 @@
+"""Unit tests for the incremental sparsifier state (densification engine)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.solvers import AMGSolver, DirectSolver
+from repro.trees import TreeSolver
+from repro.sparsify import SparsifierState, densify
+from repro.sparsify.edge_embedding import joule_heats
+from repro.sparsify.edge_similarity import select_dissimilar
+from repro.sparsify.filtering import filter_edges, heat_threshold
+from repro.spectral.extreme import estimate_lambda_max, estimate_lambda_min
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture
+def grid_with_tree():
+    from repro.trees import low_stretch_tree
+
+    g = generators.grid2d(12, 12, weights="lognormal", seed=7)
+    return g, low_stretch_tree(g, seed=0)
+
+
+def _off_tree(state):
+    return np.flatnonzero(~state.edge_mask)
+
+
+def _densify_rebuild(graph, tree_indices, sigma2, seed, **kw):
+    """Reference loop: fresh subgraph, Laplacian and solver every pass
+    (the pre-incremental behaviour the engine must reproduce exactly)."""
+    from repro.trees import RootedTree
+
+    rng = as_rng(seed)
+    tree_indices = np.asarray(tree_indices, dtype=np.int64)
+    edge_mask = np.zeros(graph.num_edges, dtype=bool)
+    edge_mask[tree_indices] = True
+    is_pure_tree = True
+    max_per_iter = kw.get("max_edges_per_iteration", max(100, int(0.05 * graph.n)))
+    for _ in range(kw.get("max_iterations", 50)):
+        if is_pure_tree:
+            solver = TreeSolver(RootedTree.from_graph(graph, tree_indices))
+        else:
+            sparsifier = graph.edge_subgraph(edge_mask)
+            solver = DirectSolver(sparsifier.laplacian().tocsc())
+        sparsifier = graph.edge_subgraph(edge_mask)
+        lam_max = estimate_lambda_max(graph, sparsifier, solver, seed=rng)
+        lam_min = estimate_lambda_min(graph, sparsifier)
+        if lam_max / lam_min <= sigma2:
+            return edge_mask, True
+        off = np.flatnonzero(~edge_mask)
+        heats = joule_heats(graph, solver, off, seed=rng)
+        decision = filter_edges(heats, heat_threshold(sigma2, lam_min, lam_max, t=2))
+        added = select_dissimilar(graph, off[decision.passing],
+                                  max_edges=max_per_iter)
+        edge_mask[added] = True
+        if added.size:
+            is_pure_tree = False
+        if added.size == 0:
+            break
+    return edge_mask, False
+
+
+class TestIncrementalLaplacian:
+    def test_matches_from_scratch_after_every_batch(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            off = _off_tree(state)
+            batch = rng.choice(off, size=min(17, off.size), replace=False)
+            state.add_edges(batch)
+            ref = g.edge_subgraph(state.edge_mask)
+            diff = state.pruned_laplacian() - ref.laplacian()
+            scale = np.abs(ref.laplacian().data).max()
+            err = np.abs(diff.data).max() if diff.nnz else 0.0
+            assert err <= 1e-12 * scale
+            assert np.allclose(
+                state.weighted_degrees(), ref.weighted_degrees(), rtol=1e-12
+            )
+
+    def test_laplacian_keeps_host_pattern(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        assert state.laplacian.nnz == g.laplacian().nnz
+        state.add_edges(_off_tree(state)[:5])
+        assert state.laplacian.nnz == g.laplacian().nnz
+
+    def test_initial_mask_respected(self, grid_with_tree):
+        g, tree = grid_with_tree
+        mask = np.zeros(g.num_edges, dtype=bool)
+        mask[tree] = True
+        extra = np.flatnonzero(~mask)[:7]
+        mask[extra] = True
+        state = SparsifierState(g, tree, initial_mask=mask)
+        assert not state.is_pure_tree
+        ref = g.edge_subgraph(mask)
+        assert np.allclose(
+            state.pruned_laplacian().toarray(), ref.laplacian().toarray()
+        )
+
+    def test_lambda_min_matches_graph_based_estimate(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        state.add_edges(_off_tree(state)[:11])
+        ref = estimate_lambda_min(g, g.edge_subgraph(state.edge_mask))
+        assert state.lambda_min() == pytest.approx(ref, rel=1e-12)
+
+
+class TestSolverManagement:
+    def test_pure_tree_uses_tree_solver(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        assert isinstance(state.solver(), TreeSolver)
+
+    def test_tree_solver_dropped_after_additions(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        state.solver()
+        state.add_edges(_off_tree(state)[:3])
+        assert isinstance(state.solver(), DirectSolver)
+
+    def test_small_batches_reuse_direct_solver(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree, solver_method="cholesky")
+        state.add_edges(_off_tree(state)[:4])
+        solver = state.solver()
+        rebuilds = state.solver_rebuilds
+        state.add_edges(_off_tree(state)[:10])
+        assert state.solver() is solver  # absorbed via Woodbury
+        assert state.solver_rebuilds == rebuilds
+
+    def test_rank_budget_triggers_rebuild(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree, solver_method="cholesky",
+                                max_update_rank=5)
+        state.add_edges(_off_tree(state)[:3])
+        solver = state.solver()
+        state.add_edges(_off_tree(state)[:10])  # exceeds rank 5
+        assert state.solver() is not solver
+
+    def test_amg_solver_method(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree, solver_method="amg")
+        state.add_edges(_off_tree(state)[:3])
+        assert isinstance(state.solver(), AMGSolver)
+
+    def test_unknown_method_rejected(self, grid_with_tree):
+        g, tree = grid_with_tree
+        with pytest.raises(ValueError, match="solver method"):
+            SparsifierState(g, tree, solver_method="qr")
+
+
+class TestValidation:
+    def test_wrong_mask_shape(self, grid_with_tree):
+        g, tree = grid_with_tree
+        with pytest.raises(ValueError, match="initial_mask"):
+            SparsifierState(g, tree, initial_mask=np.zeros(3, dtype=bool))
+
+    def test_mask_missing_tree_edge(self, grid_with_tree):
+        g, tree = grid_with_tree
+        mask = np.zeros(g.num_edges, dtype=bool)
+        with pytest.raises(ValueError, match="tree edge"):
+            SparsifierState(g, tree, initial_mask=mask)
+
+    def test_duplicate_addition_rejected(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        with pytest.raises(ValueError, match="already"):
+            state.add_edges(tree[:1])
+
+    def test_empty_batch_is_noop(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        solver = state.solver()
+        state.add_edges(np.array([], dtype=np.int64))
+        assert state.is_pure_tree
+        assert state.solver() is solver
+
+
+class TestEngineParity:
+    def test_densify_matches_rebuild_reference(self, grid_with_tree):
+        """The incremental engine must select the same edges as the
+        rebuild-everything loop for a fixed seed."""
+        g, tree = grid_with_tree
+        ref_mask, ref_conv = _densify_rebuild(g, tree, sigma2=60.0, seed=0)
+        result = densify(g, tree, sigma2=60.0, seed=0)
+        assert np.array_equal(result.edge_mask, ref_mask)
+        assert result.converged == ref_conv
+
+    def test_densify_matches_reference_with_small_batches(self, grid_with_tree):
+        """Small per-iteration caps exercise the Woodbury reuse path."""
+        g, tree = grid_with_tree
+        ref_mask, _ = _densify_rebuild(
+            g, tree, sigma2=40.0, seed=3, max_edges_per_iteration=20,
+            max_iterations=12,
+        )
+        result = densify(g, tree, sigma2=40.0, seed=3,
+                         max_edges_per_iteration=20, max_iterations=12)
+        assert np.array_equal(result.edge_mask, ref_mask)

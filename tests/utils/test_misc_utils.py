@@ -42,6 +42,17 @@ class TestTimer:
             t.restart()
         assert t.elapsed < 0.01
 
+    def test_restart_clears_stale_elapsed(self):
+        """Regression: lap-style reuse must not report the previous
+        interval's elapsed after a restart."""
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        t.restart()
+        assert t.elapsed == 0.0
+        assert t.lap() >= 0.0
+
     def test_timed_decorator(self):
         @timed
         def add(a, b):
