@@ -41,8 +41,17 @@ def heavy_edge_aggregates(A: sp.csr_matrix) -> np.ndarray:
     """Aggregate labels from one pass of heavy-edge matching.
 
     ``A`` is Laplacian-like: strength of connection between ``u`` and
-    ``v`` is ``-A[u, v]`` (positive for graph edges).  Returns an array
-    of aggregate ids in ``[0, n_coarse)``.
+    ``v`` is ``-A[u, v]`` (positive for graph edges).
+
+    Parameters
+    ----------
+    A:
+        Laplacian-like CSR matrix to coarsen.
+
+    Returns
+    -------
+    numpy.ndarray
+        Aggregate id per vertex, in ``[0, n_coarse)``.
     """
     n = A.shape[0]
     coo = sp.tril(A.tocoo(), k=-1)
@@ -223,6 +232,17 @@ class AMGSolver:
         still requests a rebuild (returns ``False``) after
         ``rebuild_every`` batches, or when an added edge falls outside a
         level's sparsity pattern.
+
+        Parameters
+        ----------
+        u, v, w:
+            Endpoint and positive-weight arrays of the added edges.
+
+        Returns
+        -------
+        bool
+            ``True`` when the hierarchy now solves the updated matrix;
+            ``False`` when the caller should re-coarsen.
         """
         u = np.atleast_1d(np.asarray(u, dtype=np.int64))
         v = np.atleast_1d(np.asarray(v, dtype=np.int64))
@@ -295,6 +315,17 @@ class AMGSolver:
 
         Matrix right-hand sides are solved in one batched pass — every
         smoothing sweep and transfer acts on all columns at once.
+
+        Parameters
+        ----------
+        b:
+            Right-hand side vector or ``(n, r)`` matrix.
+
+        Returns
+        -------
+        numpy.ndarray
+            Approximate solution with the shape of ``b`` (mean-free for
+            singular Laplacians).
         """
         b = np.asarray(b, dtype=np.float64)
         single = b.ndim == 1
@@ -310,5 +341,16 @@ class AMGSolver:
         return x[:, 0] if single else x
 
     def __call__(self, b: np.ndarray) -> np.ndarray:
-        """Preconditioner-style application."""
+        """Preconditioner-style alias for :meth:`solve`.
+
+        Parameters
+        ----------
+        b:
+            Right-hand side vector or matrix.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``self.solve(b)``.
+        """
         return self.solve(b)

@@ -31,19 +31,50 @@ class Solver(Protocol):
     """
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Apply the (pseudo)inverse to ``b`` (vector or matrix RHS)."""
+        """Apply the (pseudo)inverse to ``b`` (vector or matrix RHS).
+
+        Parameters
+        ----------
+        b:
+            Right-hand side vector or ``(n, r)`` matrix.
+
+        Returns
+        -------
+        numpy.ndarray
+            The solution, with the shape of ``b``.
+        """
         ...
 
     def __call__(self, b: np.ndarray) -> np.ndarray:
-        """Preconditioner-style alias for :meth:`solve`."""
+        """Preconditioner-style alias for :meth:`solve`.
+
+        Parameters
+        ----------
+        b:
+            Right-hand side vector or matrix.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``self.solve(b)``.
+        """
         ...
 
     def update(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> bool:
         """Absorb the edge batch ``(u[i], v[i], w[i])`` incrementally.
 
-        Returns ``True`` when the solver now solves the updated matrix
-        (exactly or, for AMG, with a refreshed fine level); ``False``
-        when the caller should rebuild the solver from scratch.
+        Parameters
+        ----------
+        u, v, w:
+            Endpoint and positive-weight arrays of the added edges.
+
+        Returns
+        -------
+        bool
+            ``True`` when the solver now solves the updated matrix
+            (exactly or, for AMG, with a refreshed fine level);
+            ``False`` when the caller should rebuild the solver from
+            scratch.
         """
         ...
 
@@ -57,6 +88,19 @@ def csr_value_positions(
     enforces) sorted column indices, so the flattened ``row * n + col``
     keys of the stored entries are globally sorted and one vectorized
     ``searchsorted`` locates every query.
+
+    Parameters
+    ----------
+    matrix:
+        CSR matrix whose data array is being addressed.
+    rows, cols:
+        Query coordinates (equal-length arrays).
+
+    Returns
+    -------
+    numpy.ndarray
+        Position in ``matrix.data`` per query; ``-1`` where the pattern
+        has no entry.
     """
     if not matrix.has_sorted_indices:
         matrix.sort_indices()

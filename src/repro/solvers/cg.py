@@ -89,6 +89,13 @@ def pcg(
     Returns
     -------
     SolveResult
+
+    Raises
+    ------
+    ValueError
+        If ``tol`` is non-positive or ``maxiter`` is smaller than 1.
+    TypeError
+        If ``A`` cannot be used as a linear operator.
     """
     matvec = _as_matvec(A)
     b = np.asarray(b, dtype=np.float64)
@@ -154,7 +161,17 @@ def conjugate_gradient(
     x0: np.ndarray | None = None,
     project_nullspace: bool = False,
 ) -> SolveResult:
-    """Plain CG — :func:`pcg` without a preconditioner."""
+    """Plain CG — :func:`pcg` without a preconditioner.
+
+    Parameters
+    ----------
+    A, b, tol, maxiter, x0, project_nullspace:
+        As in :func:`pcg`.
+
+    Returns
+    -------
+    SolveResult
+    """
     return pcg(
         A, b, preconditioner=None, tol=tol, maxiter=maxiter, x0=x0,
         project_nullspace=project_nullspace,

@@ -121,10 +121,18 @@ class DirectSolver:
     def update(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> bool:
         """Absorb added edges ``(u_i, v_i, w_i)`` via a Woodbury correction.
 
-        Returns ``False`` (leaving the solver unchanged) when the
-        accumulated rank would cross ``max_update_rank`` or the solver
-        has no factorization to correct — the caller should then rebuild
-        from the updated matrix.
+        Parameters
+        ----------
+        u, v, w:
+            Endpoint and positive-weight arrays of the added edges.
+
+        Returns
+        -------
+        bool
+            ``False`` (leaving the solver unchanged) when the
+            accumulated rank would cross ``max_update_rank`` or the
+            solver has no factorization to correct — the caller should
+            then rebuild from the updated matrix; ``True`` otherwise.
         """
         u = np.atleast_1d(np.asarray(u, dtype=np.int64))
         v = np.atleast_1d(np.asarray(v, dtype=np.int64))
@@ -176,7 +184,24 @@ class DirectSolver:
         return x
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve for one vector or each column of a matrix."""
+        """Solve for one vector or each column of a matrix.
+
+        Parameters
+        ----------
+        b:
+            Right-hand side with ``n`` rows (vector or matrix).
+
+        Returns
+        -------
+        numpy.ndarray
+            The solution (mean-free minimum-norm representative for
+            singular Laplacians), with the shape of ``b``.
+
+        Raises
+        ------
+        ValueError
+            If the right-hand side row count differs from ``n``.
+        """
         b = np.asarray(b, dtype=np.float64)
         single = b.ndim == 1
         if single:
@@ -195,5 +220,16 @@ class DirectSolver:
         return x[:, 0] if single else x
 
     def __call__(self, b: np.ndarray) -> np.ndarray:
-        """Alias so the solver doubles as a PCG preconditioner."""
+        """Alias so the solver doubles as a PCG preconditioner.
+
+        Parameters
+        ----------
+        b:
+            Right-hand side vector or matrix.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``self.solve(b)``.
+        """
         return self.solve(b)

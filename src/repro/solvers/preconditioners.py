@@ -33,12 +33,34 @@ Preconditioner = Callable[[np.ndarray], np.ndarray]
 
 
 def identity_preconditioner() -> Preconditioner:
-    """No-op preconditioner (plain CG)."""
+    """No-op preconditioner (plain CG).
+
+    Returns
+    -------
+    Preconditioner
+        The identity map.
+    """
     return lambda r: r
 
 
 def jacobi_preconditioner(matrix: sp.spmatrix) -> Preconditioner:
-    """Diagonal scaling ``M⁻¹ = D⁻¹``."""
+    """Diagonal scaling ``M⁻¹ = D⁻¹``.
+
+    Parameters
+    ----------
+    matrix:
+        System matrix supplying the diagonal.
+
+    Returns
+    -------
+    Preconditioner
+        Elementwise multiplication by ``1 / diag``.
+
+    Raises
+    ------
+    ValueError
+        If the diagonal has a non-positive entry.
+    """
     diag = np.asarray(matrix.diagonal(), dtype=np.float64)
     if np.any(diag <= 0):
         raise ValueError("Jacobi preconditioner requires a positive diagonal")
@@ -48,18 +70,57 @@ def jacobi_preconditioner(matrix: sp.spmatrix) -> Preconditioner:
 
 def tree_preconditioner(graph: Graph, tree_edge_indices: np.ndarray,
                         root: int = 0) -> TreeSolver:
-    """Exact spanning-tree preconditioner (Vaidya/support-graph style)."""
+    """Exact spanning-tree preconditioner (Vaidya/support-graph style).
+
+    Parameters
+    ----------
+    graph:
+        Host graph supplying edge endpoints and weights.
+    tree_edge_indices:
+        Canonical indices of a spanning tree of ``graph``.
+    root:
+        Root vertex for the tree elimination order.
+
+    Returns
+    -------
+    TreeSolver
+        Exact ``L_T⁺`` application in ``O(n)`` per solve.
+    """
     tree = RootedTree.from_graph(graph, tree_edge_indices, root=root)
     return TreeSolver(tree)
 
 
 def factorized_preconditioner(matrix: sp.spmatrix) -> DirectSolver:
-    """Exact application of ``M⁻¹`` via a one-time sparse factorization."""
+    """Exact application of ``M⁻¹`` via a one-time sparse factorization.
+
+    Parameters
+    ----------
+    matrix:
+        SDD/Laplacian matrix to factorize.
+
+    Returns
+    -------
+    DirectSolver
+        Factor-once/solve-many exact preconditioner.
+    """
     return DirectSolver(matrix)
 
 
 def amg_preconditioner(matrix: sp.spmatrix, **amg_options) -> AMGSolver:
-    """One AMG V-cycle per application (the paper's [13, 24] role)."""
+    """One AMG V-cycle per application (the paper's [13, 24] role).
+
+    Parameters
+    ----------
+    matrix:
+        SDD/Laplacian matrix to coarsen.
+    amg_options:
+        Extra :class:`AMGSolver` constructor options.
+
+    Returns
+    -------
+    AMGSolver
+        The assembled hierarchy (callable on vectors/matrices).
+    """
     return AMGSolver(matrix, **amg_options)
 
 
@@ -82,6 +143,16 @@ def sparsifier_preconditioner(
     slack:
         Optional diagonal to add (for non-singular SDD systems whose
         diagonal dominance must be preserved in the preconditioner).
+
+    Returns
+    -------
+    Preconditioner
+        Exact factorization or AMG V-cycle on ``L_P`` (+ slack).
+
+    Raises
+    ------
+    ValueError
+        If ``method`` is unknown.
     """
     L = sparsifier.laplacian()
     if slack is not None:

@@ -20,6 +20,15 @@ from repro.sparsify.similarity_aware import (
     refine_sparsifier,
     sparsify_graph,
 )
+from repro.sparsify.parallel import (
+    Shard,
+    ShardPlan,
+    ShardStats,
+    ShardedSparsifier,
+    ShardedSparsifyResult,
+    plan_shards,
+    shard_rngs,
+)
 from repro.sparsify.effective_resistance import (
     approx_effective_resistances,
     exact_effective_resistances,
@@ -59,6 +68,13 @@ __all__ = [
     "SparsifyResult",
     "sparsify_graph",
     "refine_sparsifier",
+    "Shard",
+    "ShardPlan",
+    "ShardStats",
+    "ShardedSparsifier",
+    "ShardedSparsifyResult",
+    "plan_shards",
+    "shard_rngs",
     "exact_effective_resistances",
     "approx_effective_resistances",
     "tree_sparsifier",

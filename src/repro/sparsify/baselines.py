@@ -36,14 +36,48 @@ __all__ = [
 def tree_sparsifier(
     graph: Graph, method: str = "akpw", seed=None
 ) -> Graph:
-    """Spanning-tree-only sparsifier (the ultra-sparse extreme)."""
+    """Spanning-tree-only sparsifier (the ultra-sparse extreme).
+
+    Parameters
+    ----------
+    graph:
+        Connected host graph.
+    method:
+        Spanning-tree flavour (see
+        :func:`repro.trees.lsst.low_stretch_tree`).
+    seed:
+        Randomness for the tree construction.
+
+    Returns
+    -------
+    Graph
+        The backbone as a subgraph at original weights.
+    """
     return graph.edge_subgraph(low_stretch_tree(graph, method=method, seed=seed))
 
 
 def uniform_sparsifier(
     graph: Graph, num_off_tree: int, tree_method: str = "akpw", seed=None
 ) -> Graph:
-    """Spanning tree plus ``num_off_tree`` uniformly random off-tree edges."""
+    """Spanning tree plus ``num_off_tree`` uniformly random off-tree edges.
+
+    Parameters
+    ----------
+    graph:
+        Connected host graph.
+    num_off_tree:
+        Number of off-tree edges to add (clipped to the available
+        count).
+    tree_method:
+        Spanning-tree flavour for the backbone.
+    seed:
+        Randomness for the tree and the uniform edge draw.
+
+    Returns
+    -------
+    Graph
+        Tree-plus-random-edges subgraph at original weights.
+    """
     rng = as_rng(seed)
     tree = low_stretch_tree(graph, method=tree_method, seed=rng)
     mask = np.zeros(graph.num_edges, dtype=bool)
@@ -70,6 +104,31 @@ def effective_resistance_sparsifier(
     Laplacian is an unbiased estimator of ``L_G``.  With
     ``ensure_connected`` a spanning tree (at original weights) is
     blended in so downstream solvers see a connected proxy.
+
+    Parameters
+    ----------
+    graph:
+        Connected host graph.
+    num_samples:
+        Edges drawn (with replacement).
+    epsilon:
+        JL sketch accuracy for the resistance estimates.
+    seed:
+        Randomness for the sketch and the multinomial draw.
+    ensure_connected:
+        Blend a maximum-weight spanning tree into the sample.
+
+    Returns
+    -------
+    Graph
+        Sampled, reweighted sparsifier.
+
+    Raises
+    ------
+    ValueError
+        If ``num_samples`` is smaller than 1.
+    RuntimeError
+        If every sampling score vanishes (degenerate resistances).
     """
     if num_samples < 1:
         raise ValueError(f"num_samples must be >= 1, got {num_samples}")
@@ -107,6 +166,28 @@ def top_k_heat_sparsifier(
     Unlike the similarity-aware pipeline, the off-tree budget is fixed a
     priori instead of derived from a σ² target — exactly the limitation
     the paper's filtering scheme removes.
+
+    Parameters
+    ----------
+    graph:
+        Connected host graph.
+    num_off_tree:
+        Fixed off-tree edge budget.
+    tree_method:
+        Spanning-tree flavour for the backbone.
+    t, num_vectors:
+        Heat-embedding parameters (see
+        :func:`repro.sparsify.edge_embedding.joule_heats`).
+    similarity_mode:
+        Dissimilarity rule applied to the heat-ordered candidates
+        (``"none"`` reproduces plain top-k).
+    seed:
+        Randomness for the tree and the embedding.
+
+    Returns
+    -------
+    Graph
+        Tree plus the selected top-heat edges at original weights.
     """
     rng = as_rng(seed)
     tree = low_stretch_tree(graph, method=tree_method, seed=rng)

@@ -154,6 +154,12 @@ def densify(
     Returns
     -------
     DensifyResult
+
+    Raises
+    ------
+    ValueError
+        If ``sigma2`` does not exceed 1 or ``max_iterations`` is smaller
+        than 1.
     """
     if sigma2 <= 1.0:
         raise ValueError(f"sigma2 must exceed 1, got {sigma2}")

@@ -28,7 +28,18 @@ __all__ = ["default_num_vectors", "power_iterate", "joule_heats"]
 
 
 def default_num_vectors(n: int) -> int:
-    """Paper's choice: ``O(log |V|)`` random probe vectors (§3.7 step 4)."""
+    """Paper's choice: ``O(log |V|)`` random probe vectors (§3.7 step 4).
+
+    Parameters
+    ----------
+    n:
+        Number of graph vertices.
+
+    Returns
+    -------
+    int
+        ``max(4, ceil(log2 n))`` probe vectors.
+    """
     return max(4, int(np.ceil(np.log2(max(n, 2)))))
 
 
@@ -65,7 +76,14 @@ def power_iterate(
 
     Returns
     -------
-    ``(n, r)`` array of propagated probe vectors (mean-free columns).
+    numpy.ndarray
+        ``(n, r)`` array of propagated probe vectors (mean-free
+        columns).
+
+    Raises
+    ------
+    ValueError
+        If ``t`` or ``num_vectors`` is smaller than 1.
     """
     if t < 1:
         raise ValueError(f"t must be >= 1, got {t}")

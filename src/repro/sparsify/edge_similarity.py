@@ -48,7 +48,13 @@ def select_dissimilar(
 
     Returns
     -------
-    Selected canonical edge indices in processing order.
+    numpy.ndarray
+        Selected canonical edge indices in processing order.
+
+    Raises
+    ------
+    ValueError
+        If ``max_edges`` is negative or ``mode`` is unknown.
     """
     candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
     if max_edges is not None and max_edges < 0:

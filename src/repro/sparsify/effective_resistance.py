@@ -36,6 +36,11 @@ def exact_effective_resistances(
         Reusable factorization of the graph Laplacian.
     batch_size:
         Pairs solved per batched multi-RHS solve (memory control).
+
+    Returns
+    -------
+    numpy.ndarray
+        Effective resistance per pair, aligned with ``pairs``.
     """
     if pairs is None:
         pairs = np.column_stack([graph.u, graph.v])
@@ -69,7 +74,27 @@ def approx_effective_resistances(
     ±1 directions: solve ``L Z = Bᵀ W^{1/2} Q`` for a ``(m, k)`` sketch
     ``Q`` and read resistances off row differences of ``Z``.
 
-    Returns one value per canonical edge.
+    Parameters
+    ----------
+    graph:
+        Connected graph.
+    epsilon:
+        Sketch accuracy in ``(0, 1)``; the sketch width grows as
+        ``1/ε²``.
+    seed:
+        Randomness for the ±1 projection directions.
+    solver:
+        Reusable factorization of the graph Laplacian.
+
+    Returns
+    -------
+    numpy.ndarray
+        One resistance estimate per canonical edge.
+
+    Raises
+    ------
+    ValueError
+        If ``epsilon`` is outside ``(0, 1)``.
     """
     if epsilon <= 0 or epsilon >= 1:
         raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")

@@ -49,6 +49,26 @@ def heat_threshold(sigma2: float, lambda_min: float, lambda_max: float,
 
     ``θ_σ ≥ 1`` signals that λmax ≤ σ² λmin already holds (similarity
     reached).
+
+    Parameters
+    ----------
+    sigma2:
+        Similarity target σ².
+    lambda_min, lambda_max:
+        Extreme generalized eigenvalue estimates of the pencil.
+    t:
+        Power-iteration steps used by the heat embedding.
+
+    Returns
+    -------
+    float
+        The filter threshold θ_σ in ``[0, 1]``.
+
+    Raises
+    ------
+    ValueError
+        If ``sigma2`` or an eigenvalue estimate is non-positive, or
+        ``t`` is smaller than 1.
     """
     if sigma2 <= 0:
         raise ValueError(f"sigma2 must be positive, got {sigma2}")
@@ -66,7 +86,19 @@ def heat_threshold(sigma2: float, lambda_min: float, lambda_max: float,
 
 
 def normalized_heats(heats: np.ndarray) -> np.ndarray:
-    """Heats scaled by the maximum heat (Eq. 15's θ_(p,q) numerators)."""
+    """Heats scaled by the maximum heat (Eq. 15's θ_(p,q) numerators).
+
+    Parameters
+    ----------
+    heats:
+        Raw Joule heats of the candidate edges.
+
+    Returns
+    -------
+    numpy.ndarray
+        Heats divided by their maximum (all zeros when the maximum is
+        not positive).
+    """
     heats = np.asarray(heats, dtype=np.float64)
     if heats.size == 0:
         return heats
@@ -79,9 +111,20 @@ def normalized_heats(heats: np.ndarray) -> np.ndarray:
 def filter_edges(heats: np.ndarray, threshold: float) -> FilterDecision:
     """Select candidates whose normalized heat meets ``threshold``.
 
-    Returns passing candidate positions sorted by decreasing heat so the
-    downstream similarity check processes the spectrally most critical
-    edges first.
+    Parameters
+    ----------
+    heats:
+        Raw Joule heats of the candidate edges.
+    threshold:
+        θ_σ from :func:`heat_threshold`; ``threshold >= 1`` passes
+        nothing (the similarity target is already met).
+
+    Returns
+    -------
+    FilterDecision
+        Passing candidate positions sorted by decreasing heat, so the
+        downstream similarity check processes the spectrally most
+        critical edges first.
     """
     norm = normalized_heats(heats)
     if threshold >= 1.0:

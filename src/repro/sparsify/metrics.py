@@ -45,7 +45,23 @@ class SimilarityEstimate:
 
 
 def exact_condition_number(graph: Graph, sparsifier: Graph) -> float:
-    """Dense-reference ``κ(L_G, L_P)`` (small graphs only)."""
+    """Dense-reference ``κ(L_G, L_P)`` (small graphs only).
+
+    Parameters
+    ----------
+    graph, sparsifier:
+        The pencil's two connected graphs on the same vertex set.
+
+    Returns
+    -------
+    float
+        ``λmax/λmin`` of the generalized pencil, computed densely.
+
+    Raises
+    ------
+    RuntimeError
+        If the pencil is not positive definite on ``1⊥``.
+    """
     lam_min, lam_max = exact_extreme_generalized_eigs(
         graph.laplacian(), sparsifier.laplacian()
     )
@@ -61,7 +77,26 @@ def estimate_condition_number(
     power_iterations: int = 10,
     seed: int | np.random.Generator | None = None,
 ) -> SimilarityEstimate:
-    """Paper §3.6 estimator: power-iteration λmax + node-coloring λmin."""
+    """Paper §3.6 estimator: power-iteration λmax + node-coloring λmin.
+
+    Parameters
+    ----------
+    graph, sparsifier:
+        The pencil's two graphs (``sparsifier`` a subgraph of
+        ``graph``).
+    solver:
+        Optional reusable ``L_P⁺`` solver; a fresh factorization is
+        built when omitted.
+    power_iterations:
+        Generalized power iterations for the λmax estimate.
+    seed:
+        Randomness for the power-iteration start vectors.
+
+    Returns
+    -------
+    SimilarityEstimate
+        The estimated pencil extremes (κ and σ derive from them).
+    """
     if solver is None:
         solver = DirectSolver(sparsifier.laplacian().tocsc())
     lam_max = estimate_lambda_max(
@@ -81,6 +116,25 @@ def quadratic_form_ratios(
 
     Every sample lies in ``[λmin, λmax]`` — a cheap certificate that the
     σ-similarity inequalities (Eq. 2) hold for the sampled directions.
+
+    Parameters
+    ----------
+    graph, sparsifier:
+        The pencil's two graphs on the same vertex set.
+    num_samples:
+        Random directions to sample.
+    seed:
+        Randomness for the sample directions.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``num_samples`` quadratic-form ratios.
+
+    Raises
+    ------
+    ValueError
+        If ``num_samples`` is smaller than 1.
     """
     if num_samples < 1:
         raise ValueError(f"num_samples must be >= 1, got {num_samples}")

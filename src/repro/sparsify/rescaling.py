@@ -68,6 +68,22 @@ def rescale_for_similarity(
     spectrum to ``[√(λmin/λmax), √(λmax/λmin)]``, symmetric about 1, so
     both inequalities of Eq. 2 hold with ``σ = √(λmax/λmin) = √κ`` —
     the best any global scaling can do.
+
+    Parameters
+    ----------
+    graph:
+        The original graph.
+    sparsifier:
+        Subgraph sparsifier to rescale.
+    power_iterations:
+        Generalized power iterations for the λmax estimate.
+    seed:
+        Randomness for the estimators.
+
+    Returns
+    -------
+    RescaleResult
+        The rescaled sparsifier with its certified σ and κ.
     """
     rng = as_rng(seed)
     solver = DirectSolver(sparsifier.laplacian().tocsc())
@@ -108,6 +124,16 @@ def tune_off_tree_scale(
         Trial α values (default: a coarse log grid around 1).
     power_iterations, seed:
         Condition-number estimation parameters.
+
+    Returns
+    -------
+    RescaleResult
+        The best trial (α included) by estimated condition number.
+
+    Raises
+    ------
+    ValueError
+        If a scale candidate is not positive.
 
     Notes
     -----

@@ -83,7 +83,13 @@ class SparsifyResult:
         return self.graph.num_edges / max(self.sparsifier.num_edges, 1)
 
     def summary(self) -> str:
-        """One-line human-readable description."""
+        """One-line human-readable description.
+
+        Returns
+        -------
+        str
+            Edge counts, density, σ² estimate vs target and timing.
+        """
         return (
             f"sparsifier with {self.sparsifier.num_edges} edges "
             f"({self.num_off_tree_edges} off-tree, density {self.density:.3f}) "
@@ -185,11 +191,36 @@ class SimilarityAwareSparsifier:
         self.amg_rebuild_every = amg_rebuild_every
         self.seed = seed
 
-    def sparsify(self, graph: Graph) -> SparsifyResult:
-        """Compute a σ-similar spectral sparsifier of ``graph``."""
+    def sparsify(self, graph: Graph, check_connected: bool = True) -> SparsifyResult:
+        """Compute a σ-similar spectral sparsifier of ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            Connected graph with at least 2 vertices.  For disconnected
+            inputs use :func:`sparsify_graph` (which shards per
+            component) or
+            :class:`repro.sparsify.parallel.ShardedSparsifier`.
+        check_connected:
+            Validate connectivity before starting.  Callers that have
+            already established it (the routing in
+            :func:`sparsify_graph`, the shard pipeline whose shards are
+            connected by construction) pass ``False`` to skip the
+            redundant component scan.
+
+        Returns
+        -------
+        SparsifyResult
+            Sparsifier, backbone, diagnostics and timings.
+
+        Raises
+        ------
+        ValueError
+            If the graph has fewer than 2 vertices or is disconnected.
+        """
         if graph.n < 2:
             raise ValueError("graph must have at least 2 vertices")
-        if not is_connected(graph):
+        if check_connected and not is_connected(graph):
             raise ValueError(
                 "graph must be connected; extract the largest component first "
                 "(repro.graphs.largest_component)"
@@ -253,6 +284,12 @@ def refine_sparsifier(
         Extra keyword arguments forwarded to
         :func:`repro.sparsify.densify`.
 
+    Returns
+    -------
+    SparsifyResult
+        The refined sparsifier; ``result`` itself when it already
+        certifies the requested σ².
+
     Examples
     --------
     >>> from repro.graphs import generators
@@ -289,8 +326,44 @@ def refine_sparsifier(
     )
 
 
-def sparsify_graph(graph: Graph, sigma2: float = 100.0, **options) -> SparsifyResult:
+def sparsify_graph(
+    graph: Graph,
+    sigma2: float = 100.0,
+    workers: int = 1,
+    shard_max_nodes: int | None = None,
+    backend: str = "auto",
+    **options,
+) -> SparsifyResult:
     """Functional one-shot entry point (see :class:`SimilarityAwareSparsifier`).
+
+    Connected graphs with the default orchestration knobs run the serial
+    kernel directly.  Disconnected graphs, ``workers > 1`` or
+    ``shard_max_nodes`` route through the shard-parallel pipeline
+    (:class:`repro.sparsify.parallel.ShardedSparsifier`), so real-world
+    multi-component inputs work end-to-end instead of raising.
+
+    Parameters
+    ----------
+    graph:
+        Host graph; may be disconnected.
+    sigma2:
+        Target spectral similarity (per shard on sharded runs).
+    workers:
+        Concurrent shard workers (1 = serial).
+    shard_max_nodes:
+        Optional cap on shard sizes; oversized components are split
+        along Fiedler sign cuts.
+    backend:
+        Shard execution backend (``"auto"``, ``"serial"``, ``"thread"``,
+        ``"process"``); ignored on unsharded runs.
+    options:
+        Remaining :class:`SimilarityAwareSparsifier` parameters.
+
+    Returns
+    -------
+    SparsifyResult
+        A :class:`~repro.sparsify.parallel.ShardedSparsifyResult` on
+        sharded runs.
 
     Examples
     --------
@@ -301,4 +374,17 @@ def sparsify_graph(graph: Graph, sigma2: float = 100.0, **options) -> SparsifyRe
     >>> r.density < g.density
     True
     """
-    return SimilarityAwareSparsifier(sigma2=sigma2, **options).sparsify(graph)
+    if workers != 1 or shard_max_nodes is not None or not is_connected(graph):
+        from repro.sparsify.parallel import ShardedSparsifier
+
+        return ShardedSparsifier(
+            sigma2=sigma2,
+            workers=workers,
+            shard_max_nodes=shard_max_nodes,
+            backend=backend,
+            **options,
+        ).sparsify(graph)
+    # Connectivity was just established; don't re-scan in the kernel.
+    return SimilarityAwareSparsifier(sigma2=sigma2, **options).sparsify(
+        graph, check_connected=False
+    )

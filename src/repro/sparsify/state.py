@@ -160,13 +160,26 @@ class SparsifierState:
         return self._laplacian
 
     def pruned_laplacian(self) -> sp.csr_matrix:
-        """Copy of ``L_P`` with the explicit zeros of absent edges dropped."""
+        """Copy of ``L_P`` with the explicit zeros of absent edges dropped.
+
+        Returns
+        -------
+        scipy.sparse.csr_matrix
+            A compacted copy safe to hand to factorization routines.
+        """
         pruned = self._laplacian.copy()
         pruned.eliminate_zeros()
         return pruned
 
     def weighted_degrees(self) -> np.ndarray:
-        """Cached sparsifier weighted degrees (updated per batch)."""
+        """Cached sparsifier weighted degrees (updated per batch).
+
+        Returns
+        -------
+        numpy.ndarray
+            Weighted degree of every vertex in the current sparsifier
+            (a live view — do not mutate).
+        """
         return self._degrees
 
     @property
@@ -175,11 +188,30 @@ class SparsifierState:
         return int(self.edge_mask.sum())
 
     def subgraph(self) -> Graph:
-        """Materialize the sparsifier as a :class:`Graph` (not cached)."""
+        """Materialize the sparsifier as a :class:`Graph` (not cached).
+
+        Returns
+        -------
+        Graph
+            ``graph.edge_subgraph(edge_mask)`` at the current mask.
+        """
         return self.graph.edge_subgraph(self.edge_mask)
 
     def lambda_min(self) -> float:
-        """§3.6.2 node-coloring λmin estimate from the cached degrees."""
+        """§3.6.2 node-coloring λmin estimate from the cached degrees.
+
+        Returns
+        -------
+        float
+            ``min_v deg_G(v) / deg_P(v)`` — a lower bound on the
+            pencil's smallest generalized eigenvalue (Eq. 18).
+
+        Raises
+        ------
+        ValueError
+            If the sparsifier leaves a vertex isolated (it must span
+            the host graph).
+        """
         deg_p = self._degrees
         if np.any(deg_p <= 0):
             raise ValueError(
@@ -197,6 +229,16 @@ class SparsifierState:
         and forwards the batch to the managed solver's ``update`` hook;
         the solver is dropped (rebuilt lazily on next access) when it
         cannot absorb the batch incrementally.
+
+        Parameters
+        ----------
+        edge_indices:
+            Canonical host edge indices not yet in the sparsifier.
+
+        Raises
+        ------
+        ValueError
+            If the batch contains an edge already in the sparsifier.
         """
         edge_indices = np.asarray(edge_indices, dtype=np.int64)
         if edge_indices.size == 0:
@@ -217,7 +259,14 @@ class SparsifierState:
     # Solver management
     # ------------------------------------------------------------------
     def solver(self) -> Solver:
-        """The managed ``L_P⁺`` solver, (re)built lazily when needed."""
+        """The managed ``L_P⁺`` solver, (re)built lazily when needed.
+
+        Returns
+        -------
+        Solver
+            Tree solver while the sparsifier is a pure tree; the
+            configured direct/AMG solver afterwards.
+        """
         if self._solver is None:
             self._solver = self._build_solver()
             self.solver_rebuilds += 1

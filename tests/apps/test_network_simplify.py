@@ -59,3 +59,39 @@ class TestSimplifyNetwork:
             / (g.n * (g.n - 1) / 2)
         )
         assert agreement > 0.9
+
+
+class TestDisconnectedNetworks:
+    def test_disconnected_routes_through_shards(self):
+        from repro.graphs.operations import disjoint_union
+        from repro.sparsify import ShardedSparsifyResult
+
+        g = disjoint_union(
+            generators.barabasi_albert(300, 5, seed=1),
+            generators.grid2d(12, 12, weights="uniform", seed=2),
+        )
+        report = simplify_network(g, sigma2=100.0, seed=0, workers=2,
+                                  backend="thread", time_eigensolves=False)
+        assert isinstance(report.result, ShardedSparsifyResult)
+        assert report.edge_reduction >= 1.0
+
+    def test_lambda1_ratio_uses_per_shard_extremes(self):
+        """λ1 of a block-diagonal pencil is the max over shards; the
+        ratio must never mix the tree estimate of one shard with the
+        final estimate of another."""
+        from repro.graphs.operations import disjoint_union
+
+        # Dense component (λ1 drops a lot) + sparse grid (barely moves).
+        g = disjoint_union(
+            generators.erdos_renyi_gnm(300, 6000, seed=3),
+            generators.grid2d(10, 10, weights="uniform", seed=4),
+        )
+        report = simplify_network(g, sigma2=100.0, seed=0,
+                                  time_eigensolves=False)
+        stats = report.result.shards
+        firsts = [s.lambda_max_first for s in stats
+                  if np.isfinite(s.lambda_max_first)]
+        lasts = [s.lambda_max_last for s in stats
+                 if np.isfinite(s.lambda_max_last)]
+        assert report.lambda1_ratio == pytest.approx(max(firsts) / max(lasts))
+        assert report.lambda1_ratio >= 1.0

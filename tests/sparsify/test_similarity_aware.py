@@ -55,9 +55,15 @@ class TestSparsifyGraph:
         assert result.total_seconds >= 0.0
         assert "sparsifier" in result.summary()
 
-    def test_disconnected_rejected(self, path5, cycle6):
+    def test_disconnected_routes_through_shards(self, path5, cycle6):
+        # The serial kernel still rejects disconnected input ...
+        graph = disjoint_union(path5, cycle6)
         with pytest.raises(ValueError, match="connected"):
-            sparsify_graph(disjoint_union(path5, cycle6), sigma2=10.0)
+            SimilarityAwareSparsifier(sigma2=10.0).sparsify(graph)
+        # ... but the functional entry point shards per component.
+        result = sparsify_graph(graph, sigma2=10.0, seed=0)
+        assert result.sparsifier.num_edges <= graph.num_edges
+        assert result.converged
 
     def test_trivial_graph_rejected(self):
         with pytest.raises(ValueError, match="2 vertices"):

@@ -41,6 +41,52 @@ class TestSparsifyCommand:
         assert np.all(graph.has_edges(sparsifier.u, sparsifier.v))
 
 
+class TestSparsifyDisconnected:
+    @pytest.fixture
+    def disconnected_file(self, tmp_path):
+        from repro.graphs.operations import disjoint_union
+
+        graph = disjoint_union(
+            disjoint_union(
+                generators.grid2d(8, 8, weights="uniform", seed=0),
+                generators.grid2d(7, 7, weights="uniform", seed=1),
+            ),
+            generators.grid2d(6, 6, weights="uniform", seed=2),
+        )
+        path = tmp_path / "multi.mtx"
+        write_matrix_market(path, graph.adjacency(), symmetric=True)
+        return path, graph
+
+    def test_three_component_graph_succeeds(self, disconnected_file, tmp_path, capsys):
+        path, graph = disconnected_file
+        out = tmp_path / "sparse.mtx"
+        code = main(["sparsify", str(path), "-o", str(out)])
+        assert code == 0
+        sparsifier = load_graph_matrix_market(out)
+        assert sparsifier.n == graph.n  # every component kept, none dropped
+        assert np.all(graph.has_edges(sparsifier.u, sparsifier.v))
+        assert "3 components" in capsys.readouterr().out
+
+    def test_workers_flag(self, disconnected_file, tmp_path):
+        path, _ = disconnected_file
+        serial = tmp_path / "serial.mtx"
+        parallel = tmp_path / "parallel.mtx"
+        assert main(["sparsify", str(path), "-o", str(serial)]) == 0
+        assert main(["sparsify", str(path), "-o", str(parallel),
+                     "--workers", "2", "--backend", "thread"]) == 0
+        a = load_graph_matrix_market(serial)
+        b = load_graph_matrix_market(parallel)
+        assert a == b  # worker count must not change the sparsifier
+
+    def test_shard_max_nodes_flag(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "sparse.mtx"
+        code = main(["sparsify", str(path), "-o", str(out),
+                     "--shard-max-nodes", "60"])
+        assert code == 0
+        assert "shards" in capsys.readouterr().out
+
+
 class TestSimilarityCommand:
     def test_reports_estimates(self, graph_file, tmp_path, capsys):
         path, _ = graph_file

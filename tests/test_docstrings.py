@@ -1,0 +1,134 @@
+"""Docstring completeness checks for the ``sparsify`` and ``solvers`` packages.
+
+A lightweight, dependency-free stand-in for ``pydocstyle`` plus numpydoc
+section enforcement.  For every public function — module-level functions
+and public methods of public classes — in ``repro.sparsify`` and
+``repro.solvers`` the checks require:
+
+- a docstring whose summary line ends in ``.``, ``?``, ``!`` or ``:``
+  (pydocstyle D415);
+- a numpydoc ``Parameters`` section when the signature takes arguments
+  (properties and zero-argument callables are exempt);
+- a ``Returns`` section when the return annotation is not ``None``;
+- a ``Raises`` section when the body contains an unconditional-path
+  ``raise`` (statements marked ``pragma: no cover`` — defensive
+  internal errors — are exempt).
+
+The rules are enforced with zero exceptions: an entry in a module is
+either private (underscore name) or fully documented.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import textwrap
+
+import pytest
+
+import repro.solvers
+import repro.sparsify
+
+PACKAGES = (repro.sparsify, repro.solvers)
+
+_SECTION_UNDERLINE = "---"
+
+
+def _iter_modules():
+    for package in PACKAGES:
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_"):
+                continue
+            yield importlib.import_module(f"{package.__name__}.{info.name}")
+
+
+def _public_functions():
+    """Yield ``(qualified_name, function)`` pairs under audit."""
+    seen: set[int] = set()
+    for module in _iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or id(obj) in seen:
+                continue
+            if inspect.isfunction(obj) and obj.__module__ == module.__name__:
+                seen.add(id(obj))
+                yield f"{module.__name__}.{name}", obj
+            elif inspect.isclass(obj) and obj.__module__ == module.__name__:
+                seen.add(id(obj))
+                for attr, member in vars(obj).items():
+                    is_public = not attr.startswith("_") or attr == "__call__"
+                    if is_public and inspect.isfunction(member):
+                        yield f"{module.__name__}.{name}.{attr}", member
+
+
+def _has_section(doc: str, title: str) -> bool:
+    lines = doc.splitlines()
+    for i, line in enumerate(lines[:-1]):
+        if line.strip() == title and lines[i + 1].strip().startswith(
+            _SECTION_UNDERLINE
+        ):
+            return True
+    return False
+
+
+def _wants_parameters(func) -> bool:
+    params = [
+        p
+        for p in inspect.signature(func).parameters.values()
+        if p.name not in ("self", "cls")
+    ]
+    return bool(params)
+
+
+def _wants_returns(func) -> bool:
+    annotation = inspect.signature(func).return_annotation
+    return annotation not in (inspect.Signature.empty, None, "None")
+
+
+def _wants_raises(func) -> bool:
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except OSError:  # pragma: no cover - source always available in repo
+        return False
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("raise") and "pragma: no cover" not in stripped:
+            return True
+    return False
+
+
+CASES = sorted(_public_functions(), key=lambda item: item[0])
+
+
+def test_audit_is_not_vacuous():
+    """The walker must see the real API surface, not an empty set."""
+    names = [name for name, _ in CASES]
+    assert len(names) > 40
+    assert any("similarity_aware.sparsify_graph" in n for n in names)
+    assert any("cholesky.DirectSolver.update" in n for n in names)
+
+
+@pytest.mark.parametrize("qualified,func", CASES, ids=[n for n, _ in CASES])
+def test_public_function_docstring(qualified, func):
+    doc = inspect.getdoc(func)
+    assert doc, f"{qualified} has no docstring"
+    summary = doc.splitlines()[0].strip()
+    assert summary and summary[-1] in ".?!:", (
+        f"{qualified}: summary line must end with punctuation (D415): "
+        f"{summary!r}"
+    )
+    if _wants_parameters(func):
+        assert _has_section(doc, "Parameters"), (
+            f"{qualified}: takes arguments but has no numpydoc "
+            f"'Parameters' section"
+        )
+    if _wants_returns(func):
+        assert _has_section(doc, "Returns"), (
+            f"{qualified}: returns a value but has no numpydoc "
+            f"'Returns' section"
+        )
+    if _wants_raises(func):
+        assert _has_section(doc, "Raises"), (
+            f"{qualified}: raises but has no numpydoc 'Raises' section"
+        )
