@@ -10,6 +10,9 @@ being rebuilt from the whole sparsifier.
 Run explicitly (benchmarks are not collected by the default test run):
 
     PYTHONPATH=src python -m pytest benchmarks/bench_densify_scaling.py -v -s
+
+CI runs this file with ``--smoke``: only the smallest size, identical
+edge masks still asserted, timing assertions skipped.
 """
 
 from __future__ import annotations
@@ -88,10 +91,12 @@ def _compare(graph, seed=0, solver_method="auto"):
 
 
 @pytest.mark.parametrize("side", [60, 120, 200])
-def test_incremental_identical_and_faster_per_iteration(side):
+def test_incremental_identical_and_faster_per_iteration(side, smoke):
     """Acceptance: identical edge mask; lower mean per-iteration time
     after the first densification iteration (grid2d(200, 200) is the
     headline size)."""
+    if smoke and side > 60:
+        pytest.skip("smoke mode runs the smallest size only")
     graph = generators.grid2d(side, side, weights="uniform", seed=4)
     old_mask, old_times, result, new_times = _compare(graph)
     assert np.array_equal(result.edge_mask, old_mask)
@@ -103,12 +108,13 @@ def test_incremental_identical_and_faster_per_iteration(side):
         f"({old_mean / max(new_mean, 1e-12):.2f}x); "
         f"totals {sum(old_times):.3f}s vs {sum(new_times):.3f}s"
     )
-    assert new_mean < old_mean
+    if not smoke:
+        assert new_mean < old_mean
 
 
-def test_amg_hierarchy_reuse_faster(scale):
+def test_amg_hierarchy_reuse_faster(scale, smoke):
     """The AMG path amortizes its hierarchy across iterations."""
-    side = max(80, int(150 * scale))
+    side = 32 if smoke else max(80, int(150 * scale))
     graph = generators.grid2d(side, side, weights="uniform", seed=4)
     tree = low_stretch_tree(graph, seed=0)
     start = time.perf_counter()
@@ -124,16 +130,22 @@ def test_amg_hierarchy_reuse_faster(scale):
         f"rebuild-always {t_rebuild:.3f}s ({t_rebuild / max(t_reuse, 1e-12):.2f}x)"
     )
     assert reused.num_edges >= graph.n - 1
-    assert t_reuse < t_rebuild
+    # Hierarchy reuse changes solver numerics slightly, so masks may
+    # legitimately differ from the rebuild-always run; both must still
+    # contain the full backbone.
+    assert np.all(reused.edge_mask[tree])
+    assert np.all(rebuilt.edge_mask[tree])
+    if not smoke:
+        assert t_reuse < t_rebuild
 
 
-def test_benchmark_headline_full_run(benchmark, scale):
+def test_benchmark_headline_full_run(benchmark, scale, smoke):
     """pytest-benchmark headline: one full incremental densification."""
-    side = max(60, int(120 * scale))
+    side = 24 if smoke else max(60, int(120 * scale))
     graph = generators.grid2d(side, side, weights="uniform", seed=4)
     tree = low_stretch_tree(graph, seed=0)
     result = benchmark.pedantic(
         lambda: densify(graph, tree, sigma2=SIGMA2, seed=0),
-        rounds=2, iterations=1,
+        rounds=1 if smoke else 2, iterations=1,
     )
     assert result.num_edges >= graph.n - 1

@@ -9,6 +9,10 @@ Sparsification by Edge Filtering"*, DAC 2018.  The package provides:
 - spanning-tree, solver, eigenvalue and graph-signal-processing
   substrates under :mod:`repro.trees`, :mod:`repro.solvers`,
   :mod:`repro.spectral`;
+- streaming maintenance under :mod:`repro.stream` — a
+  :class:`~repro.stream.DynamicSparsifier` keeps the σ² guarantee as
+  edge insert/delete/reweight events arrive, with checkpointing for
+  warm restarts;
 - the paper's three applications under :mod:`repro.apps` (SDD solver,
   spectral partitioner, complex-network simplification);
 - experiment regenerators for every table/figure under

@@ -1,6 +1,6 @@
 """Command-line interface: sparsify Matrix Market graphs from the shell.
 
-Three subcommands:
+Four subcommands:
 
 ``sparsify``
     Compute a σ²-similar sparsifier of a ``.mtx`` graph/SDD matrix.
@@ -9,6 +9,14 @@ Three subcommands:
     (:class:`repro.sparsify.parallel.ShardedSparsifier`), and
     ``--workers N`` sparsifies shards concurrently.  ``--shard-max-nodes``
     additionally splits oversized components along Fiedler sign cuts.
+``stream``
+    Replay an edge-event log (``.jsonl``/``.npz``, see
+    :mod:`repro.stream.events`) against a live
+    :class:`~repro.stream.DynamicSparsifier`, reporting per-batch
+    repair actions, quality and timing.  Start either from a graph
+    (``--graph``) or a saved checkpoint (``--resume``); optionally
+    persist a checkpoint (``--checkpoint-out``) and the final
+    sparsifier (``--output``) at the end.
 ``similarity``
     Estimate the spectral similarity (λmax, λmin, κ, σ) of two graphs.
 ``generate``
@@ -37,6 +45,15 @@ Sparsify a disconnected graph (e.g. a multi-die netlist), four shard
 workers in parallel::
 
     python -m repro sparsify multi_component.mtx -o sparsifier.mtx --workers 4
+
+Replay a day of edge churn against a warm sparsifier, checkpointing at
+the end::
+
+    python -m repro stream churn.jsonl --graph grid.mtx --sigma2 100 \\
+        --batch-size 200 --checkpoint-out state/ckpt
+
+    # next day: resume from the checkpoint
+    python -m repro stream churn2.jsonl --resume state/ckpt -o sparsifier.mtx
 
 Report the spectral similarity between two graphs::
 
@@ -106,6 +123,38 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["auto", "serial", "thread", "process"],
                             help="shard execution backend (default auto)")
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="replay an edge-event log against a dynamic sparsifier",
+    )
+    p_stream.add_argument("events",
+                          help="event log (.jsonl or .npz, see repro.stream)")
+    p_stream.add_argument("--graph", default=None,
+                          help="Matrix Market file to sparsify before replay")
+    p_stream.add_argument("--resume", default=None,
+                          help="checkpoint path to warm-restart from "
+                               "(instead of --graph)")
+    p_stream.add_argument("--sigma2", type=float, default=100.0,
+                          help="similarity target (default 100; ignored "
+                               "with --resume)")
+    p_stream.add_argument("--batch-size", type=int, default=100,
+                          help="events per applied batch (default 100)")
+    p_stream.add_argument("--seed", type=int, default=0,
+                          help="randomness for the initial sparsification "
+                               "(default 0; ignored with --resume, which "
+                               "restores the exact RNG state)")
+    p_stream.add_argument("--drift-tolerance", type=float, default=1.0,
+                          help="re-densify when the estimate exceeds "
+                               "tolerance * sigma2 (default 1.0; ignored "
+                               "with --resume)")
+    p_stream.add_argument("--check-every", type=int, default=1,
+                          help="drift-check cadence in batches (default 1; "
+                               "ignored with --resume)")
+    p_stream.add_argument("-o", "--output", default=None,
+                          help="write the final sparsifier adjacency (.mtx)")
+    p_stream.add_argument("--checkpoint-out", default=None,
+                          help="write an npz+json checkpoint after replay")
+
     p_similarity = sub.add_parser(
         "similarity", help="estimate the similarity of two .mtx graphs"
     )
@@ -153,6 +202,67 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        DynamicSparsifier,
+        load_dynamic,
+        read_event_log,
+        save_dynamic,
+    )
+
+    if (args.graph is None) == (args.resume is None):
+        print("error: provide exactly one of --graph or --resume",
+              file=sys.stderr)
+        return 2
+    if args.resume is not None:
+        dyn = load_dynamic(args.resume)
+        print(f"resumed: {dyn.graph.n} vertices, {dyn.num_edges} sparsifier "
+              f"edges, {dyn.batches_applied} batches applied so far")
+    else:
+        graph = load_graph_matrix_market(args.graph)
+        dyn = DynamicSparsifier(
+            graph, sigma2=args.sigma2, seed=args.seed,
+            drift_tolerance=args.drift_tolerance,
+            check_every=args.check_every,
+        )
+        print(f"initial sparsifier: {dyn.num_edges} edges over "
+              f"{graph.n} vertices (sigma2 estimate "
+              f"{dyn.last_estimate:.1f}, target {dyn.sigma2:.1f})")
+    events = read_event_log(args.events)
+    print(f"replaying {len(events)} events in batches of {args.batch_size}")
+    reports = dyn.apply_log(events, batch_size=args.batch_size)
+    for r in reports:
+        quality = f"{r.sigma2_estimate:8.1f}" if r.checked else "     (skip)"
+        actions = []
+        if r.tree_rebuilt:
+            actions.append("tree-rebuild")
+        elif r.tree_repairs:
+            actions.append(f"tree-repair x{r.tree_repairs}")
+        if r.redensified:
+            actions.append(f"redensify +{r.densify_added}")
+        print(f"batch {r.batch:4d}: {r.num_events:5d} events "
+              f"(+{r.inserted} -{r.deleted} ~{r.reweighted})  "
+              f"sigma2~={quality}  edges={r.num_edges}  "
+              f"{r.elapsed * 1e3:7.1f} ms"
+              + (f"  [{', '.join(actions)}]" if actions else ""))
+    total = sum(r.elapsed for r in reports)
+    print(f"replayed {len(events)} events in {total:.3f}s; sparsifier has "
+          f"{dyn.num_edges} edges (sigma2 estimate {dyn.last_estimate:.1f}, "
+          f"{dyn.redensify_count} re-densifications, "
+          f"{dyn.tree_repair_count} backbone repairs)")
+    if args.output:
+        write_matrix_market(
+            args.output, dyn.sparsifier().adjacency(), symmetric=True,
+            comment=f"streamed sparsifier after {len(events)} events "
+                    f"(sigma2 target {dyn.sigma2})",
+        )
+        print(f"written: {args.output}")
+    if args.checkpoint_out:
+        npz_path, json_path = save_dynamic(args.checkpoint_out, dyn)
+        print(f"checkpoint: {npz_path} + {json_path}")
+    return 0
+
+
 def _cmd_similarity(args: argparse.Namespace) -> int:
     from repro.sparsify import estimate_condition_number
 
@@ -182,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "sparsify": _cmd_sparsify,
+        "stream": _cmd_stream,
         "similarity": _cmd_similarity,
         "generate": _cmd_generate,
     }

@@ -144,19 +144,39 @@ def load_graph_matrix_market(path: str | Path) -> Graph:
 
 
 def read_edge_list(path: str | Path, num_vertices: int | None = None) -> Graph:
-    """Read a whitespace ``u v [w]`` edge list (0-based labels)."""
+    """Read a whitespace ``u v [w]`` edge list (0-based labels).
+
+    When ``num_vertices`` is omitted, a ``# vertices N ...`` header
+    comment (the form :func:`write_edge_list` emits) fixes the vertex
+    count; otherwise it falls back to ``max label + 1``.  The header
+    keeps trailing isolated vertices — which no edge line can mention —
+    from being silently dropped on a round trip.
+    """
     us: list[int] = []
     vs: list[int] = []
     ws: list[float] = []
+    header_vertices: int | None = None
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if not line or line.startswith("#"):
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if (
+                    header_vertices is None
+                    and len(parts) >= 2
+                    and parts[0] == "vertices"
+                    and parts[1].isdigit()
+                ):
+                    header_vertices = int(parts[1])
                 continue
             parts = line.split()
             us.append(int(parts[0]))
             vs.append(int(parts[1]))
             ws.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if num_vertices is None:
+        num_vertices = header_vertices
     if num_vertices is None:
         num_vertices = (max(max(us, default=-1), max(vs, default=-1)) + 1) or 1
     return Graph(num_vertices, np.array(us), np.array(vs), np.array(ws))

@@ -97,9 +97,39 @@ def relabel(graph: Graph, permutation: np.ndarray) -> Graph:
 
 
 def remove_edges(graph: Graph, edge_indices: np.ndarray) -> Graph:
-    """Graph with the listed canonical edges removed."""
+    """Graph with the listed canonical edges removed.
+
+    Parameters
+    ----------
+    graph:
+        Source graph.
+    edge_indices:
+        Canonical edge indices to drop.  Each index must lie in
+        ``[0, num_edges)`` and appear at most once — silent fancy-index
+        wrap-around (negative indices) or double deletion almost always
+        hides a caller bug, so both raise instead.
+
+    Returns
+    -------
+    Graph
+        A new graph on the same vertex set without the listed edges.
+
+    Raises
+    ------
+    ValueError
+        If an index is out of range or listed more than once.
+    """
+    edge_indices = np.asarray(edge_indices, dtype=np.int64).ravel()
+    if edge_indices.size:
+        if edge_indices.min() < 0 or edge_indices.max() >= graph.num_edges:
+            raise ValueError(
+                f"edge index out of range [0, {graph.num_edges}): "
+                f"min {edge_indices.min()}, max {edge_indices.max()}"
+            )
+        if np.unique(edge_indices).size != edge_indices.size:
+            raise ValueError("duplicate edge indices in removal batch")
     mask = np.ones(graph.num_edges, dtype=bool)
-    mask[np.asarray(edge_indices, dtype=np.int64)] = False
+    mask[edge_indices] = False
     return graph.edge_subgraph(mask)
 
 

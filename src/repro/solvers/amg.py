@@ -235,8 +235,13 @@ class AMGSolver:
 
         Parameters
         ----------
-        u, v, w:
-            Endpoint and positive-weight arrays of the added edges.
+        u, v:
+            Endpoint arrays of the updated edges.
+        w:
+            Signed, nonzero weight deltas (positive additions/increases,
+            negative decreases/deletions — see
+            :meth:`repro.solvers.base.Solver.update`); the value patch
+            is sign-agnostic, the caller keeps net weights positive.
 
         Returns
         -------

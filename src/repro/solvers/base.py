@@ -3,11 +3,22 @@
 Every sparsifier solver (tree solver, direct factorization, AMG) applies
 ``L_P⁺`` to one vector or to the columns of an ``(n, r)`` matrix, and
 exposes an :meth:`Solver.update` hook that absorbs a batch of edge
-additions *without* rebuilding from scratch when it can.  ``update``
-returning ``False`` is the solver saying "my cheap incremental options
-are exhausted" — the caller (normally
-:class:`repro.sparsify.state.SparsifierState`) then rebuilds a fresh
-solver from the incrementally maintained Laplacian.
+updates *without* rebuilding from scratch when it can.  Updates carry
+*signed* weight deltas: positive entries add edges or increase weights,
+negative entries decrease weights or delete edges (a delta of ``−w``
+removes an edge of weight ``w``) — the deletion path is what the
+streaming subsystem (:mod:`repro.stream`) relies on.  Callers must keep
+net edge weights positive; a delta that would drive an edge weight
+negative makes the matrix indefinite and must be rejected *before* it
+reaches the solver (:class:`repro.sparsify.state.SparsifierState` and
+:class:`repro.stream.DynamicSparsifier` both do).  ``update`` returning
+``False`` is the solver saying "my cheap incremental options are
+exhausted" — the caller then rebuilds a fresh solver from the
+incrementally maintained Laplacian.  The direct solver switches its
+Woodbury capacitance factorization to LU for mixed-sign batches, AMG
+patches the signed values through its hierarchy exactly, and solvers
+that cannot absorb a batch at all (the tree solver) simply return
+``False``.
 """
 
 from __future__ import annotations
@@ -65,8 +76,13 @@ class Solver(Protocol):
 
         Parameters
         ----------
-        u, v, w:
-            Endpoint and positive-weight arrays of the added edges.
+        u, v:
+            Endpoint arrays of the updated edges.
+        w:
+            Signed, nonzero weight deltas — positive for additions and
+            weight increases, negative for weight decreases and
+            deletions.  The caller guarantees net edge weights stay
+            positive.
 
         Returns
         -------

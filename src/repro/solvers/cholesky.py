@@ -7,13 +7,24 @@ solver applies the pseudoinverse ``L⁺`` on ``1⊥``.  SuperLU supplies
 the factorization; its L/U nonzero count is the "memory" column of the
 paper's Table 3.
 
-Small batches of edge additions are absorbed *without* re-factorizing:
-adding edges ``(u_i, v_i, w_i)`` perturbs the (grounded) matrix by the
-low-rank term ``U W Uᵀ`` with ``U`` the incidence columns
-``e_{u_i} − e_{v_i}``, so solves against the updated matrix follow from
-the Woodbury identity
+Small batches of edge updates are absorbed *without* re-factorizing:
+changing edges ``(u_i, v_i)`` by the signed weight delta ``w_i``
+perturbs the (grounded) matrix by the low-rank term ``U W Uᵀ`` with
+``U`` the incidence columns ``e_{u_i} − e_{v_i}``, so solves against
+the updated matrix follow from the Woodbury identity
 
     (A + U W Uᵀ)⁻¹ b = A⁻¹ b − Z (W⁻¹ + Uᵀ Z)⁻¹ Uᵀ A⁻¹ b,   Z = A⁻¹ U.
+
+Positive deltas are edge additions / weight increases; *negative*
+deltas encode weight decreases and edge deletions (delta ``−w`` removes
+an edge of weight ``w``), which is what the streaming subsystem
+(:mod:`repro.stream`) feeds through this hook.  The capacitance
+``W⁻¹ + UᵀZ`` is positive definite only for all-positive deltas, so
+mixed-sign accumulations switch from a Cholesky to an LU factorization
+of the (still symmetric, but indefinite) capacitance.  The caller is
+responsible for keeping the *net* edge weights positive — a delta that
+drives an edge weight negative can make the updated matrix indefinite,
+which surfaces here as a singular capacitance and a ``False`` return.
 
 Only when the accumulated update rank crosses ``max_update_rank`` does
 :meth:`DirectSolver.update` ask the caller for a fresh factorization —
@@ -97,7 +108,8 @@ class DirectSolver:
         self._update_Z: np.ndarray | None = None
         self._update_M: np.ndarray | None = None
         self._update_w = np.empty(0, dtype=np.float64)
-        self._update_cap: tuple[np.ndarray, bool] | None = None
+        self._update_cap = None
+        self._cap_is_cholesky = True
 
     @property
     def factor_bytes(self) -> int:
@@ -119,26 +131,41 @@ class DirectSolver:
         return int(self._update_w.size)
 
     def update(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> bool:
-        """Absorb added edges ``(u_i, v_i, w_i)`` via a Woodbury correction.
+        """Absorb edge deltas ``(u_i, v_i, w_i)`` via a Woodbury correction.
 
         Parameters
         ----------
-        u, v, w:
-            Endpoint and positive-weight arrays of the added edges.
+        u, v:
+            Endpoint arrays of the updated edges.
+        w:
+            Signed, nonzero weight *deltas*: positive for additions and
+            weight increases, negative for weight decreases and
+            deletions (``−w`` deletes an edge of weight ``w``).  The
+            caller must keep every net edge weight positive — see the
+            module docstring.
 
         Returns
         -------
         bool
             ``False`` (leaving the solver unchanged) when the
-            accumulated rank would cross ``max_update_rank`` or the
-            solver has no factorization to correct — the caller should
-            then rebuild from the updated matrix; ``True`` otherwise.
+            accumulated rank would cross ``max_update_rank``, the
+            solver has no factorization to correct, or the capacitance
+            is (numerically) singular — the caller should then rebuild
+            from the updated matrix; ``True`` otherwise.
+
+        Raises
+        ------
+        ValueError
+            If a delta is exactly zero (a no-op entry is always a
+            caller bug).
         """
         u = np.atleast_1d(np.asarray(u, dtype=np.int64))
         v = np.atleast_1d(np.asarray(v, dtype=np.int64))
         w = np.atleast_1d(np.asarray(w, dtype=np.float64))
         if u.size == 0:
             return True
+        if np.any(w == 0.0):
+            raise ValueError("edge-update deltas must be nonzero")
         if self._lu is None:
             return False
         if self.update_rank + u.size > self.max_update_rank:
@@ -163,23 +190,49 @@ class DirectSolver:
             )
             U = np.hstack([self._update_U, U_new])
             Z = np.hstack([self._update_Z, Z_new])
+        all_w = np.concatenate([self._update_w, w])
+        # The capacitance is PD only when every delta is positive; the
+        # mixed-sign case (deletions) factors the symmetric indefinite
+        # capacitance with LU instead.
+        use_cholesky = bool(np.all(all_w > 0))
         try:
-            cap = scipy.linalg.cho_factor(capacitance)
+            if use_cholesky:
+                cap = scipy.linalg.cho_factor(capacitance)
+            else:
+                cap = scipy.linalg.lu_factor(capacitance)
+                diag = np.abs(np.diag(cap[0]))
+                # Judge singularity against the magnitude of the terms
+                # the capacitance is built from (W⁻¹ and UᵀZ), not its
+                # final entries — exact cancellation is the singular
+                # case being detected.
+                scale = max(
+                    float(np.abs(capacitance).max()),
+                    float(np.abs(1.0 / all_w).max()),
+                    1e-300,
+                )
+                if diag.min() <= 1e-12 * scale:
+                    # Numerically singular: the update removed the
+                    # matrix's definiteness (e.g. a deletion that
+                    # disconnects the graph).  Ask for a rebuild.
+                    return False
         except scipy.linalg.LinAlgError:  # pragma: no cover - defensive
             return False
         self._update_U, self._update_Z = U, Z
         self._update_M = capacitance
-        self._update_w = np.concatenate([self._update_w, w])
+        self._update_w = all_w
         self._update_cap = cap
+        self._cap_is_cholesky = use_cholesky
         return True
 
     def _base_solve(self, rhs: np.ndarray) -> np.ndarray:
         """Factorized solve plus the accumulated Woodbury correction."""
         x = self._lu.solve(rhs)
         if self._update_cap is not None:
-            correction = scipy.linalg.cho_solve(
-                self._update_cap, self._update_U.T @ x
-            )
+            compressed = self._update_U.T @ x
+            if self._cap_is_cholesky:
+                correction = scipy.linalg.cho_solve(self._update_cap, compressed)
+            else:
+                correction = scipy.linalg.lu_solve(self._update_cap, compressed)
             x = x - self._update_Z @ correction
         return x
 

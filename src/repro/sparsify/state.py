@@ -130,12 +130,16 @@ class SparsifierState:
             raise RuntimeError("host Laplacian pattern is missing edge entries")
         return pos.reshape(4, g.num_edges).T
 
-    def _write_edges(self, edge_indices: np.ndarray) -> None:
-        """Accumulate the given canonical edges into ``L_P`` and degrees."""
+    def _write_edges(self, edge_indices: np.ndarray, sign: float = 1.0) -> None:
+        """Accumulate the given canonical edges into ``L_P`` and degrees.
+
+        ``sign=-1.0`` subtracts the edges instead (the deletion path).
+        """
         if edge_indices.size == 0:
             return
         g = self.graph
-        u, v, w = g.u[edge_indices], g.v[edge_indices], g.w[edge_indices]
+        u, v = g.u[edge_indices], g.v[edge_indices]
+        w = sign * g.w[edge_indices]
         pos = self._positions[edge_indices]
         data = self._laplacian.data
         np.add.at(data, pos[:, 0], -w)
@@ -238,11 +242,15 @@ class SparsifierState:
         Raises
         ------
         ValueError
-            If the batch contains an edge already in the sparsifier.
+            If the batch contains an edge already in the sparsifier or
+            a repeated index (``np.add.at`` would double-count it while
+            the mask flips once, silently corrupting the state).
         """
         edge_indices = np.asarray(edge_indices, dtype=np.int64)
         if edge_indices.size == 0:
             return
+        if np.unique(edge_indices).size != edge_indices.size:
+            raise ValueError("duplicate edge indices in addition batch")
         if np.any(self.edge_mask[edge_indices]):
             raise ValueError("edge batch contains edges already in the sparsifier")
         self.edge_mask[edge_indices] = True
@@ -252,6 +260,57 @@ class SparsifierState:
             g = self.graph
             if not self._solver.update(
                 g.u[edge_indices], g.v[edge_indices], g.w[edge_indices]
+            ):
+                self._solver = None
+
+    def remove_edges(self, edge_indices: np.ndarray) -> None:
+        """Remove off-tree canonical edges from the sparsifier.
+
+        The inverse of :meth:`add_edges`: mask, Laplacian values and
+        degrees are downdated in ``O(batch)``, and the batch reaches
+        the managed solver as *negative* weight deltas (the
+        deletion-capable :meth:`~repro.solvers.base.Solver.update`
+        path); the solver is dropped and rebuilt lazily when it cannot
+        absorb the downdate.
+
+        Tree edges cannot be removed here — the backbone keeps the
+        sparsifier spanning.  Callers that delete backbone edges (the
+        streaming layer) must repair the tree first (see
+        :func:`repro.trees.spanning.complete_forest`).
+
+        Parameters
+        ----------
+        edge_indices:
+            Canonical host edge indices currently in the sparsifier and
+            not part of the spanning-tree backbone.
+
+        Raises
+        ------
+        ValueError
+            If the batch contains an edge absent from the sparsifier, a
+            spanning-tree edge, or a repeated index (a double deletion
+            would downdate the Laplacian twice).
+        """
+        edge_indices = np.asarray(edge_indices, dtype=np.int64)
+        if edge_indices.size == 0:
+            return
+        if np.unique(edge_indices).size != edge_indices.size:
+            raise ValueError("duplicate edge indices in removal batch")
+        if not np.all(self.edge_mask[edge_indices]):
+            raise ValueError("edge batch contains edges not in the sparsifier")
+        tree_mask = np.zeros(self.graph.num_edges, dtype=bool)
+        tree_mask[self.tree_indices] = True
+        if np.any(tree_mask[edge_indices]):
+            raise ValueError(
+                "cannot remove spanning-tree edges; repair the backbone first"
+            )
+        self.edge_mask[edge_indices] = False
+        self._write_edges(edge_indices, sign=-1.0)
+        self.is_pure_tree = bool(self.edge_mask.sum() == self.tree_indices.size)
+        if self._solver is not None:
+            g = self.graph
+            if not self._solver.update(
+                g.u[edge_indices], g.v[edge_indices], -g.w[edge_indices]
             ):
                 self._solver = None
 

@@ -1,0 +1,49 @@
+"""Streaming subsystem: dynamic sparsifier maintenance under edge events.
+
+Turns the batch pipeline into a live service: a
+:class:`DynamicSparsifier` consumes streams of
+:class:`EdgeInsert`/:class:`EdgeDelete`/:class:`WeightUpdate` events and
+keeps its sparsifier σ²-similar through a three-tier repair policy
+(local solver absorption, backbone repair, drift-triggered
+re-densification), with full-state checkpointing for warm restarts.
+See :mod:`repro.stream.dynamic` for the policy details.
+"""
+
+from repro.stream.events import (
+    EdgeDelete,
+    EdgeEvent,
+    EdgeInsert,
+    WeightUpdate,
+    apply_events,
+    coalesce,
+    random_event_stream,
+    read_event_log,
+    write_event_log,
+)
+from repro.stream.dynamic import BatchReport, DynamicSparsifier
+from repro.stream.checkpoint import (
+    checkpoint_paths,
+    load_dynamic,
+    load_result,
+    save_dynamic,
+    save_result,
+)
+
+__all__ = [
+    "EdgeInsert",
+    "EdgeDelete",
+    "WeightUpdate",
+    "EdgeEvent",
+    "coalesce",
+    "apply_events",
+    "read_event_log",
+    "write_event_log",
+    "random_event_stream",
+    "BatchReport",
+    "DynamicSparsifier",
+    "save_dynamic",
+    "load_dynamic",
+    "save_result",
+    "load_result",
+    "checkpoint_paths",
+]

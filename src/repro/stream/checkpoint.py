@@ -1,0 +1,299 @@
+"""Checkpointing: serialize/restore streaming state for warm restarts.
+
+A serving process that maintains a :class:`~repro.stream.dynamic.DynamicSparsifier`
+(or holds a batch :class:`~repro.sparsify.SparsifyResult`) can persist
+its full state and resume after a restart without re-sparsifying.  Each
+checkpoint is an ``npz`` + ``json`` sibling pair derived from one path:
+
+- ``<stem>.npz`` — the arrays: host graph ``(n, u, v, w)``, edge mask,
+  spanning-tree indices, cached sparsifier degrees — saved bit-exact;
+- ``<stem>.json`` — the configuration, counters, quality estimate and
+  the RNG bit-generator state, all values that round-trip exactly
+  through JSON.
+
+Determinism contract: saving flushes the incrementally corrected
+solver (:meth:`DynamicSparsifier.flush_solver`), so the surviving live
+instance and a restored one rebuild from the same pruned Laplacian and
+follow **bit-identical** decision paths from the save point on.
+Against a run that never checkpointed, the restored run's solves can
+differ from the Woodbury-corrected solver's in the last ulps; since
+estimates are only *compared* against thresholds, the masks still
+match unless an estimate lands within that float noise of a decision
+boundary — measure-zero in practice, and pinned by the seeded
+equality tests in ``tests/stream``/``tests/property``.  The stream RNG
+must use a bit generator whose state is JSON-serializable (the NumPy
+default ``PCG64`` family is).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.sparsify.densify import DensifyIteration
+from repro.sparsify.similarity_aware import SparsifyResult
+from repro.stream.dynamic import DynamicSparsifier
+
+__all__ = [
+    "save_dynamic",
+    "load_dynamic",
+    "save_result",
+    "load_result",
+    "checkpoint_paths",
+]
+
+_FORMAT_VERSION = 1
+
+
+def checkpoint_paths(path: str | Path) -> tuple[Path, Path]:
+    """The ``(npz, json)`` sibling pair a checkpoint path maps to.
+
+    Only a trailing ``.npz``/``.json`` is stripped; any other dotted
+    segment is part of the name (``ckpt.day1`` maps to
+    ``ckpt.day1.npz``/``ckpt.day1.json``, it is *not* collapsed to
+    ``ckpt.npz``).
+
+    Parameters
+    ----------
+    path:
+        Any of ``stem``, ``stem.npz`` or ``stem.json``.
+
+    Returns
+    -------
+    tuple
+        ``(Path(stem.npz), Path(stem.json))``.
+    """
+    path = Path(path)
+    if path.suffix in (".npz", ".json"):
+        path = path.with_suffix("")
+    return Path(f"{path}.npz"), Path(f"{path}.json")
+
+
+def _rng_state(rng: np.random.Generator) -> dict:
+    state = rng.bit_generator.state
+    try:
+        json.dumps(state)
+    except TypeError as exc:  # pragma: no cover - non-default generators
+        raise ValueError(
+            "stream RNG state is not JSON-serializable; use the default "
+            "PCG64 generator family for checkpointable streams"
+        ) from exc
+    return state
+
+
+def _restore_rng(state: dict) -> np.random.Generator:
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+def save_dynamic(path: str | Path, dyn: DynamicSparsifier) -> tuple[Path, Path]:
+    """Persist a :class:`DynamicSparsifier` (flushes its solver first).
+
+    Parameters
+    ----------
+    path:
+        Checkpoint path (suffix ignored; siblings derived).
+    dyn:
+        The live instance to persist.
+
+    Returns
+    -------
+    tuple
+        The written ``(npz, json)`` paths.
+    """
+    npz_path, json_path = checkpoint_paths(path)
+    dyn.flush_solver()
+    np.savez_compressed(
+        npz_path,
+        n=np.int64(dyn.graph.n),
+        u=dyn.graph.u,
+        v=dyn.graph.v,
+        w=dyn.graph.w,
+        edge_mask=dyn.edge_mask,
+        tree_indices=dyn.tree_indices,
+        deg_p=dyn._deg_p,
+    )
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "dynamic_sparsifier",
+        "config": {
+            "sigma2": dyn.sigma2,
+            "tree_method": dyn.tree_method,
+            "drift_tolerance": dyn.drift_tolerance,
+            "check_every": dyn.check_every,
+            "tree_rebuild_threshold": dyn.tree_rebuild_threshold,
+            "absorb_inserts": dyn.absorb_inserts,
+            "solver_method": dyn.solver_method,
+            "max_update_rank": dyn.max_update_rank,
+            "amg_rebuild_every": dyn.amg_rebuild_every,
+            "power_iterations": dyn.power_iterations,
+            "densify_options": dyn._densify_options,
+        },
+        "counters": {
+            "batches_applied": dyn.batches_applied,
+            "events_applied": dyn.events_applied,
+            "solver_rebuilds": dyn.solver_rebuilds,
+            "redensify_count": dyn.redensify_count,
+            "tree_repair_count": dyn.tree_repair_count,
+            "batches_since_check": dyn._batches_since_check,
+        },
+        "last_estimate": dyn.last_estimate,
+        "rng_state": _rng_state(dyn._rng),
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+    return npz_path, json_path
+
+
+def load_dynamic(path: str | Path) -> DynamicSparsifier:
+    """Restore a :class:`DynamicSparsifier` saved by :func:`save_dynamic`.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint path (suffix ignored; siblings derived).
+
+    Returns
+    -------
+    DynamicSparsifier
+        A live instance positioned exactly at the saved state.
+
+    Raises
+    ------
+    ValueError
+        If the checkpoint kind or format version is unknown.
+    """
+    npz_path, json_path = checkpoint_paths(path)
+    with open(json_path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if meta.get("kind") != "dynamic_sparsifier":
+        raise ValueError(f"{json_path} is not a DynamicSparsifier checkpoint")
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format version {meta.get('format_version')}"
+        )
+    with np.load(npz_path) as data:
+        graph = Graph(int(data["n"]), data["u"], data["v"], data["w"])
+        edge_mask = data["edge_mask"].astype(bool)
+        tree_indices = data["tree_indices"].astype(np.int64)
+        deg_p = data["deg_p"].astype(np.float64)
+    config = meta["config"]
+    dyn = DynamicSparsifier(
+        graph,
+        sigma2=config["sigma2"],
+        tree_method=config["tree_method"],
+        drift_tolerance=config["drift_tolerance"],
+        check_every=config["check_every"],
+        tree_rebuild_threshold=config["tree_rebuild_threshold"],
+        absorb_inserts=config["absorb_inserts"],
+        solver_method=config["solver_method"],
+        max_update_rank=config["max_update_rank"],
+        amg_rebuild_every=config["amg_rebuild_every"],
+        power_iterations=config["power_iterations"],
+        densify_options=config["densify_options"],
+        _defer_init=True,
+    )
+    dyn.edge_mask = edge_mask
+    dyn.tree_indices = tree_indices
+    dyn._deg_p = deg_p
+    dyn._rng = _restore_rng(meta["rng_state"])
+    counters = meta["counters"]
+    dyn.batches_applied = counters["batches_applied"]
+    dyn.events_applied = counters["events_applied"]
+    dyn.solver_rebuilds = counters["solver_rebuilds"]
+    dyn.redensify_count = counters["redensify_count"]
+    dyn.tree_repair_count = counters["tree_repair_count"]
+    dyn._batches_since_check = counters["batches_since_check"]
+    dyn.last_estimate = meta["last_estimate"]
+    return dyn
+
+
+def save_result(path: str | Path, result: SparsifyResult) -> tuple[Path, Path]:
+    """Persist a batch :class:`SparsifyResult` (mask, tree, stats).
+
+    Parameters
+    ----------
+    path:
+        Checkpoint path (suffix ignored; siblings derived).
+    result:
+        The sparsification result to persist.
+
+    Returns
+    -------
+    tuple
+        The written ``(npz, json)`` paths.
+    """
+    npz_path, json_path = checkpoint_paths(path)
+    np.savez_compressed(
+        npz_path,
+        n=np.int64(result.graph.n),
+        u=result.graph.u,
+        v=result.graph.v,
+        w=result.graph.w,
+        edge_mask=np.asarray(result.edge_mask, dtype=bool),
+        tree_indices=np.asarray(result.tree_indices, dtype=np.int64),
+    )
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "sparsify_result",
+        "sigma2_target": result.sigma2_target,
+        "sigma2_estimate": result.sigma2_estimate,
+        "converged": bool(result.converged),
+        "tree_seconds": result.tree_seconds,
+        "densify_seconds": result.densify_seconds,
+        "iterations": [dataclasses.asdict(it) for it in result.iterations],
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+    return npz_path, json_path
+
+
+def load_result(path: str | Path) -> SparsifyResult:
+    """Restore a :class:`SparsifyResult` saved by :func:`save_result`.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint path (suffix ignored; siblings derived).
+
+    Returns
+    -------
+    SparsifyResult
+        Reconstructed result (the sparsifier graph is re-derived from
+        the mask, so masks and weights round-trip bit-exact).
+
+    Raises
+    ------
+    ValueError
+        If the checkpoint kind or format version is unknown.
+    """
+    npz_path, json_path = checkpoint_paths(path)
+    with open(json_path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if meta.get("kind") != "sparsify_result":
+        raise ValueError(f"{json_path} is not a SparsifyResult checkpoint")
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format version {meta.get('format_version')}"
+        )
+    with np.load(npz_path) as data:
+        graph = Graph(int(data["n"]), data["u"], data["v"], data["w"])
+        edge_mask = data["edge_mask"].astype(bool)
+        tree_indices = data["tree_indices"].astype(np.int64)
+    return SparsifyResult(
+        graph=graph,
+        sparsifier=graph.edge_subgraph(edge_mask),
+        edge_mask=edge_mask,
+        tree_indices=tree_indices,
+        sigma2_target=meta["sigma2_target"],
+        sigma2_estimate=meta["sigma2_estimate"],
+        converged=meta["converged"],
+        iterations=[DensifyIteration(**it) for it in meta["iterations"]],
+        tree_seconds=meta["tree_seconds"],
+        densify_seconds=meta["densify_seconds"],
+    )

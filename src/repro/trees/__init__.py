@@ -3,6 +3,7 @@
 from repro.trees.tree import RootedTree
 from repro.trees.spanning import (
     DisjointSet,
+    complete_forest,
     kruskal,
     maximum_weight_spanning_tree,
     minimum_spanning_tree,
@@ -21,6 +22,7 @@ __all__ = [
     "prim",
     "minimum_spanning_tree",
     "maximum_weight_spanning_tree",
+    "complete_forest",
     "akpw",
     "shortest_path_tree",
     "low_stretch_tree",

@@ -15,7 +15,7 @@ import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
 from repro.graphs.graph import Graph
-from repro.graphs.components import is_connected
+from repro.graphs.components import connected_components, is_connected
 
 __all__ = [
     "DisjointSet",
@@ -23,6 +23,7 @@ __all__ = [
     "prim",
     "minimum_spanning_tree",
     "maximum_weight_spanning_tree",
+    "complete_forest",
 ]
 
 
@@ -146,6 +147,77 @@ def minimum_spanning_tree(graph: Graph, lengths: np.ndarray | None = None) -> np
     if idx.size != graph.n - 1:  # pragma: no cover - scipy MST is exact
         raise RuntimeError("scipy MST did not return a spanning tree")
     return idx
+
+
+def complete_forest(
+    graph: Graph,
+    forest_indices: np.ndarray,
+    scores: np.ndarray | None = None,
+) -> np.ndarray:
+    """Canonical edge indices that reconnect a spanning forest to a tree.
+
+    The streaming subsystem's *backbone repair*: deleting spanning-tree
+    edges leaves a forest whose components must be re-bridged by the
+    best surviving crossing edges.  Components are merged greedily in
+    decreasing ``scores`` order (Kruskal over crossing edges only), so
+    each lost tree edge is replaced by the highest-scoring edge across
+    its cut that is still available.
+
+    Parameters
+    ----------
+    graph:
+        Host graph supplying the candidate edges.
+    forest_indices:
+        Canonical indices of the current forest edges (a spanning tree
+        minus any number of deletions; must be cycle-free).
+    scores:
+        Per-edge desirability, higher is better; defaults to the edge
+        weights (maximum conductance — the replacement that increases
+        cut resistance least).  Ties break on the lower edge index so
+        the repair is deterministic.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted canonical indices of the added bridging edges; empty
+        when the forest already spans the graph.
+
+    Raises
+    ------
+    ValueError
+        If the forest contains a cycle, or the graph has no surviving
+        edges to reconnect it (it is disconnected).
+    """
+    forest_indices = np.asarray(forest_indices, dtype=np.int64)
+    count, labels = connected_components(graph.edge_subgraph(forest_indices))
+    # A cycle-free edge set on n vertices has exactly n - |E| components.
+    if count != graph.n - forest_indices.size:
+        raise ValueError("forest_indices contain a cycle")
+    if count == 1:
+        return np.array([], dtype=np.int64)
+    if scores is None:
+        scores = graph.w
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != (graph.num_edges,):
+        raise ValueError(
+            f"scores must have shape ({graph.num_edges},), got {scores.shape}"
+        )
+    # Kruskal on the quotient: only edges crossing components matter,
+    # and the union-find runs over the (few) components, not vertices.
+    crossing = np.flatnonzero(labels[graph.u] != labels[graph.v])
+    order = crossing[np.argsort(-scores[crossing], kind="stable")]
+    dsu = DisjointSet(count)
+    added: list[int] = []
+    for e in order:
+        if dsu.union(int(labels[graph.u[e]]), int(labels[graph.v[e]])):
+            added.append(int(e))
+            if dsu.count == 1:
+                break
+    if dsu.count != 1:
+        raise ValueError(
+            "graph is disconnected: no surviving edges can reconnect the forest"
+        )
+    return np.sort(np.array(added, dtype=np.int64))
 
 
 def maximum_weight_spanning_tree(graph: Graph) -> np.ndarray:

@@ -102,9 +102,91 @@ class TestEdgeList:
         assert g.n == 5
 
 
+class TestAdversarialMatrixMarket:
+    """Round-trips on the awkward corners of the format."""
+
+    def test_pattern_symmetric_with_comments(self):
+        """Comment lines between the header and the dims line, pattern
+        field, symmetric storage — all at once."""
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% SuiteSparse-style provenance comment\n"
+            "% another comment line\n"
+            "4 4 3\n"
+            "2 1\n"
+            "3 2\n"
+            "4 3\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.toarray()
+        assert np.array_equal(dense, dense.T)
+        assert dense[1, 0] == 1.0 and dense[0, 1] == 1.0
+        g = Graph.from_sparse(m.tocsr())
+        assert g.num_edges == 3
+        assert np.all(g.w == 1.0)
+
+    def test_symmetric_diagonal_not_duplicated(self):
+        """Diagonal entries of a symmetric file must not be doubled."""
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n"
+            "1 1 5.0\n"
+            "2 1 -1.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text)).toarray()
+        assert m[0, 0] == 5.0
+        assert m[0, 1] == m[1, 0] == -1.0
+
+    def test_write_read_preserves_exact_weights(self, tmp_path):
+        """repr-based writing keeps every float64 bit-exact."""
+        g = generators.grid2d(5, 5, weights="lognormal", seed=13)
+        path = tmp_path / "exact.mtx"
+        write_matrix_market(path, g.adjacency(), symmetric=True)
+        back = Graph.from_sparse(read_matrix_market(path).tocsr())
+        assert np.array_equal(back.w, g.w)
+
+
+class TestEdgeListIsolatedVertices:
+    def test_roundtrip_keeps_trailing_isolated_vertices(self, tmp_path):
+        """Vertices 3 and 4 have no edges; the header must keep them."""
+        g = Graph(5, [0, 1], [1, 2], [2.0, 3.0])
+        path = tmp_path / "iso.txt"
+        write_edge_list(path, g)
+        back = read_edge_list(path)
+        assert back.n == 5
+        assert back == g
+
+    def test_explicit_count_overrides_header(self, tmp_path):
+        g = Graph(5, [0], [1], [1.0])
+        path = tmp_path / "iso.txt"
+        write_edge_list(path, g)
+        assert read_edge_list(path, num_vertices=7).n == 7
+
+    def test_headerless_file_still_infers_from_labels(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("# free-form comment\n0 3\n")
+        assert read_edge_list(path).n == 4
+
+
 class TestNpz:
     def test_roundtrip(self, tmp_path):
         g = generators.fem_mesh_2d(120, seed=3)
         path = tmp_path / "graph.npz"
         save_graph_npz(path, g)
         assert load_graph_npz(path) == g
+
+    def test_roundtrip_preserves_dtypes_and_bits(self, tmp_path):
+        g = generators.grid2d(6, 6, weights="lognormal", seed=1)
+        path = tmp_path / "graph.npz"
+        save_graph_npz(path, g)
+        back = load_graph_npz(path)
+        assert back.u.dtype == np.int64 and back.v.dtype == np.int64
+        assert back.w.dtype == np.float64
+        assert np.array_equal(back.w, g.w)  # bit-exact, not approx
+        assert isinstance(back.n, int)
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = Graph(6, [0], [1], [0.5])
+        path = tmp_path / "iso.npz"
+        save_graph_npz(path, g)
+        assert load_graph_npz(path).n == 6

@@ -90,6 +90,24 @@ class TestRemoveEdges:
         assert g.num_edges == 2
         assert not bool(g.has_edges([0], [2])[0])
 
+    def test_empty_batch_is_noop(self, triangle):
+        g = remove_edges(triangle, np.array([], dtype=np.int64))
+        assert g == triangle
+
+    def test_out_of_range_rejected(self, triangle):
+        with pytest.raises(ValueError, match="out of range"):
+            remove_edges(triangle, np.array([3]))
+
+    def test_negative_index_rejected(self, triangle):
+        """Negative indices would silently wrap via fancy indexing."""
+        with pytest.raises(ValueError, match="out of range"):
+            remove_edges(triangle, np.array([-1]))
+
+    def test_duplicate_indices_rejected(self, triangle):
+        """A double deletion is a caller bug, not an idempotent no-op."""
+        with pytest.raises(ValueError, match="duplicate"):
+            remove_edges(triangle, np.array([1, 1]))
+
 
 class TestDegreeStatistics:
     def test_path_statistics(self, path5):

@@ -1,0 +1,121 @@
+"""Property-based tests for the streaming subsystem invariants.
+
+The acceptance property: replaying *any* valid event stream (including
+spanning-tree/backbone deletions) leaves a sparsifier that certifies
+the same σ² target a from-scratch run on the final graph certifies, and
+checkpointing mid-stream never changes the produced masks.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.components import is_connected
+from repro.sparsify import sparsify_graph
+from repro.stream import (
+    DynamicSparsifier,
+    apply_events,
+    coalesce,
+    load_dynamic,
+    random_event_stream,
+    save_dynamic,
+)
+from repro.trees import RootedTree
+
+from tests.property.test_property_trees import connected_graphs
+
+SIGMA2 = 60.0
+
+
+class TestReplayProperties:
+    @given(
+        connected_graphs(max_n=14),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=60),
+        st.sampled_from([0.2, 0.5]),  # delete pressure incl. backbone
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_replay_certifies_like_from_scratch(
+        self, graph, seed, num_events, p_delete
+    ):
+        events = random_event_stream(
+            graph, num_events, seed=seed, p_insert=0.3, p_delete=p_delete
+        )
+        dyn = DynamicSparsifier(graph, sigma2=SIGMA2, seed=seed)
+        dyn.apply_log(events, batch_size=16)
+
+        # Structural invariants.
+        final = apply_events(graph, events)
+        assert dyn.graph == final
+        assert np.all(dyn.edge_mask[dyn.tree_indices])
+        RootedTree.from_graph(dyn.graph, dyn.tree_indices)
+        assert is_connected(dyn.sparsifier())
+        assert np.allclose(dyn._deg_p, dyn.sparsifier().weighted_degrees())
+
+        # Quality: same certificate as recomputing from scratch.  The
+        # streaming estimate is checked at every batch (check_every=1),
+        # so the final state either certifies sigma2 or from-scratch
+        # could not certify it either.
+        scratch = sparsify_graph(final, sigma2=SIGMA2, seed=0)
+        if scratch.converged and dyn.graph.num_edges > 0:
+            assert dyn.last_estimate <= SIGMA2 * (1 + 1e-9)
+
+    @given(
+        connected_graphs(max_n=12),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_checkpoint_continue_bit_identical(
+        self, tmp_path_factory, graph, seed, num_events, cut
+    ):
+        events = random_event_stream(graph, num_events, seed=seed,
+                                     p_delete=0.4)
+        batches = [events[i:i + 8] for i in range(0, len(events), 8)]
+        if not batches:
+            return
+        cut = min(cut, len(batches) - 1)
+        tmp = tmp_path_factory.mktemp("ckpt")
+
+        solo = DynamicSparsifier(graph, sigma2=SIGMA2, seed=seed)
+        for batch in batches:
+            solo.apply(batch)
+
+        interrupted = DynamicSparsifier(graph, sigma2=SIGMA2, seed=seed)
+        for k, batch in enumerate(batches):
+            interrupted.apply(batch)
+            if k == cut:
+                save_dynamic(tmp / f"ck{seed}_{k}", interrupted)
+                interrupted = load_dynamic(tmp / f"ck{seed}_{k}")
+
+        assert interrupted.graph == solo.graph
+        assert np.array_equal(interrupted.edge_mask, solo.edge_mask)
+        assert np.array_equal(interrupted.tree_indices, solo.tree_indices)
+        assert (interrupted._rng.bit_generator.state
+                == solo._rng.bit_generator.state)
+
+
+class TestCoalesceProperties:
+    @given(
+        connected_graphs(max_n=10),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_coalesced_stream_is_equivalent(self, graph, seed, num_events):
+        """Applying the coalesced batch equals applying the raw batch."""
+        events = random_event_stream(graph, num_events, seed=seed,
+                                     p_delete=0.35)
+        assert apply_events(graph, events) == apply_events(graph, coalesce(events))
+
+    @given(
+        connected_graphs(max_n=10),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_coalesce_is_idempotent(self, graph, seed, num_events):
+        events = random_event_stream(graph, num_events, seed=seed,
+                                     p_delete=0.35)
+        once = coalesce(events)
+        assert coalesce(once) == once

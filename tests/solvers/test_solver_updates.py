@@ -100,6 +100,87 @@ class TestDirectSolverWoodbury:
         assert np.allclose(solver.solve(b), fresh.solve(b), atol=1e-8)
 
 
+class TestDirectSolverSignedUpdates:
+    """The weight-decrease / deletion path: negative Woodbury deltas."""
+
+    def test_weight_decrease_matches_fresh_factorization(self, grid):
+        base_mask, _, _ = _split(grid, 24)
+        base = grid.edge_subgraph(base_mask)
+        solver = DirectSolver(base.laplacian().tocsc())
+        # Halve the weight of a few sparsifier edges: delta = -w/2.
+        picked = np.flatnonzero(base_mask)[:5]
+        delta = -0.5 * grid.w[picked]
+        assert solver.update(grid.u[picked], grid.v[picked], delta)
+        new_w = grid.w.copy()
+        new_w[picked] *= 0.5
+        reference = grid.reweighted(new_w).edge_subgraph(base_mask)
+        fresh = DirectSolver(reference.laplacian().tocsc())
+        b = np.random.default_rng(2).standard_normal((grid.n, 3))
+        b -= b.mean(axis=0, keepdims=True)
+        assert np.allclose(solver.solve(b), fresh.solve(b), atol=1e-8)
+
+    def test_edge_deletion_matches_fresh_factorization(self, grid):
+        """Delta −w removes the edge entirely (off-tree, stays connected)."""
+        base_mask, updated_mask, update = _split(grid, 24)
+        solver = DirectSolver(grid.edge_subgraph(updated_mask).laplacian().tocsc())
+        drop = update[:6]
+        assert solver.update(grid.u[drop], grid.v[drop], -grid.w[drop])
+        smaller_mask = updated_mask.copy()
+        smaller_mask[drop] = False
+        fresh = DirectSolver(grid.edge_subgraph(smaller_mask).laplacian().tocsc())
+        b = np.random.default_rng(3).standard_normal(grid.n)
+        b -= b.mean()
+        assert np.allclose(solver.solve(b), fresh.solve(b), atol=1e-8)
+
+    def test_mixed_sign_batch(self, grid):
+        """Additions and deletions in one batch (the streaming shape)."""
+        base_mask, _, update = _split(grid, 24)
+        mask = base_mask.copy()
+        mask[update[:4]] = True
+        solver = DirectSolver(grid.edge_subgraph(mask).laplacian().tocsc())
+        add, drop = update[4:8], update[:2]
+        us = np.concatenate([grid.u[add], grid.u[drop]])
+        vs = np.concatenate([grid.v[add], grid.v[drop]])
+        ws = np.concatenate([grid.w[add], -grid.w[drop]])
+        assert solver.update(us, vs, ws)
+        final_mask = mask.copy()
+        final_mask[add] = True
+        final_mask[drop] = False
+        fresh = DirectSolver(grid.edge_subgraph(final_mask).laplacian().tocsc())
+        b = np.random.default_rng(4).standard_normal(grid.n)
+        b -= b.mean()
+        assert np.allclose(solver.solve(b), fresh.solve(b), atol=1e-8)
+
+    def test_zero_delta_rejected(self, grid):
+        base_mask, _, update = _split(grid, 10)
+        solver = DirectSolver(grid.edge_subgraph(base_mask).laplacian().tocsc())
+        e = update[:1]
+        with pytest.raises(ValueError, match="nonzero"):
+            solver.update(grid.u[e], grid.v[e], np.array([0.0]))
+
+    def test_disconnecting_deletion_requests_rebuild(self):
+        """Deleting a bridge makes the Laplacian extra-singular; the
+        capacitance turns singular and update must refuse, not corrupt."""
+        g = generators.path_graph(6)
+        solver = DirectSolver(g.laplacian().tocsc())
+        before_rank = solver.update_rank
+        ok = solver.update(np.array([2]), np.array([3]), np.array([-1.0]))
+        assert not ok
+        assert solver.update_rank == before_rank
+
+    def test_positive_batches_still_use_cholesky(self, grid):
+        """The pre-existing all-positive path keeps its Cholesky
+        capacitance (bit-compatibility with the densification engine)."""
+        base_mask, _, update = _split(grid, 12)
+        solver = DirectSolver(grid.edge_subgraph(base_mask).laplacian().tocsc())
+        e = update[:3]
+        assert solver.update(grid.u[e], grid.v[e], grid.w[e])
+        assert solver._cap_is_cholesky
+        d = update[3:4]
+        assert solver.update(grid.u[d], grid.v[d], -0.5 * grid.w[d])
+        assert not solver._cap_is_cholesky
+
+
 class TestTreeSolverUpdate:
     def test_any_edge_forces_rebuild(self, grid):
         tree = low_stretch_tree(grid, seed=0)
@@ -182,6 +263,35 @@ class TestAMGUpdate:
         b -= b.mean()
         x = solver.solve(b)
         assert np.linalg.norm(new_lap @ x - b) < 1e-8 * np.linalg.norm(b)
+
+    def test_negative_deltas_patched_exactly(self, grid):
+        """The deletion path: signed deltas flow through the hierarchy
+        (streaming on large graphs routes deletions through AMG)."""
+        base_mask, updated_mask, update = _split(grid, 26)
+        solver = AMGSolver(
+            _full_pattern_laplacian(grid, updated_mask), cycles=2,
+            coarse_size=32,
+        )
+        drop, shrink = update[:4], update[4:7]
+        us = np.concatenate([grid.u[drop], grid.u[shrink]])
+        vs = np.concatenate([grid.v[drop], grid.v[shrink]])
+        ws = np.concatenate([-grid.w[drop], -0.5 * grid.w[shrink]])
+        assert solver.update(us, vs, ws)
+        final_w = grid.w.copy()
+        final_w[shrink] *= 0.5
+        final_mask = updated_mask.copy()
+        final_mask[drop] = False
+        reference = grid.reweighted(final_w).edge_subgraph(final_mask)
+        new_lap = reference.laplacian()
+        diff = solver.levels[0]["A"] - new_lap
+        assert (np.abs(diff.data).max() if diff.nnz else 0.0) < 1e-12
+        b = np.random.default_rng(6).standard_normal(grid.n)
+        b -= b.mean()
+        x = solver.solve(b)
+        fresh = AMGSolver(new_lap, cycles=2, coarse_size=32)
+        res_patched = np.linalg.norm(new_lap @ x - b)
+        res_fresh = np.linalg.norm(new_lap @ fresh.solve(b) - b)
+        assert res_patched <= 2.0 * res_fresh + 1e-12
 
     def test_batched_matrix_solve_matches_columnwise(self, grid):
         solver = AMGSolver(grid.laplacian(), cycles=2)

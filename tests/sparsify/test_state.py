@@ -178,6 +178,81 @@ class TestValidation:
         assert state.solver() is solver
 
 
+class TestRemoveEdges:
+    def _state_with_extras(self, grid_with_tree, extra=12):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        off = np.flatnonzero(~state.edge_mask)[:extra]
+        state.add_edges(off)
+        return g, state, off
+
+    def test_removal_matches_from_scratch(self, grid_with_tree):
+        g, state, off = self._state_with_extras(grid_with_tree)
+        state.remove_edges(off[:5])
+        expected = g.edge_subgraph(state.edge_mask)
+        assert np.allclose(
+            state.pruned_laplacian().toarray(), expected.laplacian().toarray()
+        )
+        assert np.allclose(state.weighted_degrees(),
+                           expected.weighted_degrees())
+        assert not np.any(state.edge_mask[off[:5]])
+
+    def test_solver_absorbs_downdate(self, grid_with_tree):
+        g, state, off = self._state_with_extras(grid_with_tree)
+        solver = state.solver()
+        state.remove_edges(off[:4])
+        assert state.solver() is solver  # Woodbury downdate, no rebuild
+        fresh = DirectSolver(state.pruned_laplacian().tocsc())
+        b = np.random.default_rng(0).standard_normal(g.n)
+        b -= b.mean()
+        assert np.allclose(state.solver().solve(b), fresh.solve(b), atol=1e-8)
+
+    def test_back_to_pure_tree(self, grid_with_tree):
+        g, state, off = self._state_with_extras(grid_with_tree, extra=3)
+        assert not state.is_pure_tree
+        state.remove_edges(off)
+        assert state.is_pure_tree
+
+    def test_tree_edge_rejected(self, grid_with_tree):
+        g, state, _ = self._state_with_extras(grid_with_tree)
+        with pytest.raises(ValueError, match="spanning-tree"):
+            state.remove_edges(state.tree_indices[:1])
+
+    def test_absent_edge_rejected(self, grid_with_tree):
+        g, state, off = self._state_with_extras(grid_with_tree, extra=2)
+        absent = np.flatnonzero(~state.edge_mask)[:1]
+        with pytest.raises(ValueError, match="not in the sparsifier"):
+            state.remove_edges(absent)
+
+    def test_empty_batch_is_noop(self, grid_with_tree):
+        g, state, off = self._state_with_extras(grid_with_tree)
+        before = state.edge_mask.copy()
+        state.remove_edges(np.array([], dtype=np.int64))
+        assert np.array_equal(state.edge_mask, before)
+
+    def test_duplicate_removal_rejected(self, grid_with_tree):
+        """A repeated index would downdate the Laplacian twice."""
+        g, state, off = self._state_with_extras(grid_with_tree)
+        with pytest.raises(ValueError, match="duplicate"):
+            state.remove_edges(np.array([off[0], off[0]]))
+
+    def test_duplicate_addition_rejected(self, grid_with_tree):
+        g, tree = grid_with_tree
+        state = SparsifierState(g, tree)
+        e = np.flatnonzero(~state.edge_mask)[:1]
+        with pytest.raises(ValueError, match="duplicate"):
+            state.add_edges(np.array([e[0], e[0]]))
+
+    def test_add_remove_add_roundtrip(self, grid_with_tree):
+        """Re-adding removed edges restores the exact Laplacian values."""
+        g, state, off = self._state_with_extras(grid_with_tree)
+        reference = state.pruned_laplacian().toarray()
+        state.remove_edges(off[:6])
+        state.add_edges(off[:6])
+        assert np.allclose(state.pruned_laplacian().toarray(), reference,
+                           atol=1e-12)
+
+
 class TestEngineParity:
     def test_densify_matches_rebuild_reference(self, grid_with_tree):
         """The incremental engine must select the same edges as the

@@ -1,0 +1,144 @@
+"""Unit tests for streaming checkpoint save/restore."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.sparsify import sparsify_graph
+from repro.stream import (
+    DynamicSparsifier,
+    checkpoint_paths,
+    load_dynamic,
+    load_result,
+    random_event_stream,
+    save_dynamic,
+    save_result,
+)
+
+
+@pytest.fixture
+def grid():
+    return generators.grid2d(9, 9, weights="lognormal", seed=4)
+
+
+class TestCheckpointPaths:
+    @pytest.mark.parametrize("given", ["state", "state.npz", "state.json"])
+    def test_suffix_normalization(self, tmp_path, given):
+        npz, js = checkpoint_paths(tmp_path / given)
+        assert npz == tmp_path / "state.npz"
+        assert js == tmp_path / "state.json"
+
+    def test_dotted_names_do_not_collide(self, tmp_path, grid):
+        """ckpt.day1 and ckpt.day2 must map to distinct files."""
+        npz1, _ = checkpoint_paths(tmp_path / "ckpt.day1")
+        npz2, _ = checkpoint_paths(tmp_path / "ckpt.day2")
+        assert npz1 == tmp_path / "ckpt.day1.npz"
+        assert npz1 != npz2
+        dyn = DynamicSparsifier(grid, sigma2=90.0, seed=0)
+        save_dynamic(tmp_path / "ckpt.day1", dyn)
+        dyn.apply(random_event_stream(grid, 5, seed=1))
+        save_dynamic(tmp_path / "ckpt.day2", dyn)
+        assert load_dynamic(tmp_path / "ckpt.day1").batches_applied == 0
+        assert load_dynamic(tmp_path / "ckpt.day2").batches_applied == 1
+
+
+class TestDynamicRoundTrip:
+    def test_full_state_restored(self, tmp_path, grid):
+        dyn = DynamicSparsifier(grid, sigma2=90.0, seed=7,
+                                drift_tolerance=1.5, check_every=2)
+        dyn.apply_log(random_event_stream(grid, 60, seed=2), batch_size=20)
+        npz_path, json_path = save_dynamic(tmp_path / "ckpt", dyn)
+        assert npz_path.exists() and json_path.exists()
+
+        back = load_dynamic(tmp_path / "ckpt")
+        assert back.graph == dyn.graph
+        assert np.array_equal(back.edge_mask, dyn.edge_mask)
+        assert np.array_equal(back.tree_indices, dyn.tree_indices)
+        assert np.array_equal(back._deg_p, dyn._deg_p)
+        assert back._rng.bit_generator.state == dyn._rng.bit_generator.state
+        assert back.sigma2 == dyn.sigma2
+        assert back.drift_tolerance == 1.5
+        assert back.check_every == 2
+        assert back.batches_applied == dyn.batches_applied
+        assert back.events_applied == dyn.events_applied
+        assert back._batches_since_check == dyn._batches_since_check
+        assert back.last_estimate == dyn.last_estimate
+
+    def test_save_load_continue_bit_identical(self, tmp_path, grid):
+        """The acceptance property: checkpointing mid-stream changes
+        nothing about the masks the run produces."""
+        events = random_event_stream(grid, 120, seed=5, p_delete=0.4)
+        batches = [events[i:i + 20] for i in range(0, len(events), 20)]
+
+        solo = DynamicSparsifier(grid, sigma2=90.0, seed=3)
+        for batch in batches:
+            solo.apply(batch)
+
+        interrupted = DynamicSparsifier(grid, sigma2=90.0, seed=3)
+        for k, batch in enumerate(batches):
+            interrupted.apply(batch)
+            if k in (1, 3):  # checkpoint twice mid-stream
+                save_dynamic(tmp_path / f"ck{k}", interrupted)
+                interrupted = load_dynamic(tmp_path / f"ck{k}")
+
+        assert interrupted.graph == solo.graph
+        assert np.array_equal(interrupted.edge_mask, solo.edge_mask)
+        assert np.array_equal(interrupted.tree_indices, solo.tree_indices)
+        assert np.array_equal(interrupted._deg_p, solo._deg_p)
+        assert (interrupted._rng.bit_generator.state
+                == solo._rng.bit_generator.state)
+
+    def test_save_flushes_solver(self, tmp_path, grid):
+        dyn = DynamicSparsifier(grid, sigma2=90.0, seed=0)
+        dyn.apply(random_event_stream(grid, 10, seed=1))
+        assert dyn._solver is not None
+        save_dynamic(tmp_path / "ckpt", dyn)
+        assert dyn._solver is None
+
+    def test_json_is_human_readable(self, tmp_path, grid):
+        dyn = DynamicSparsifier(grid, sigma2=90.0, seed=0)
+        save_dynamic(tmp_path / "ckpt", dyn)
+        meta = json.loads((tmp_path / "ckpt.json").read_text())
+        assert meta["kind"] == "dynamic_sparsifier"
+        assert meta["config"]["sigma2"] == 90.0
+        assert meta["rng_state"]["bit_generator"] == "PCG64"
+
+    def test_kind_mismatch_rejected(self, tmp_path, grid):
+        result = sparsify_graph(grid, sigma2=90.0, seed=0)
+        save_result(tmp_path / "res", result)
+        with pytest.raises(ValueError, match="not a DynamicSparsifier"):
+            load_dynamic(tmp_path / "res")
+
+
+class TestResultRoundTrip:
+    def test_result_restored(self, tmp_path, grid):
+        result = sparsify_graph(grid, sigma2=90.0, seed=0)
+        save_result(tmp_path / "res", result)
+        back = load_result(tmp_path / "res")
+        assert back.graph == result.graph
+        assert np.array_equal(back.edge_mask, result.edge_mask)
+        assert np.array_equal(back.tree_indices, result.tree_indices)
+        assert back.sparsifier == result.sparsifier
+        assert back.sigma2_target == result.sigma2_target
+        assert back.sigma2_estimate == result.sigma2_estimate
+        assert back.converged == result.converged
+        assert back.tree_seconds == result.tree_seconds
+        assert len(back.iterations) == len(result.iterations)
+        assert back.iterations[-1] == result.iterations[-1]
+        assert back.summary() == result.summary()
+
+    def test_restored_result_feeds_from_result(self, tmp_path, grid):
+        """Checkpointed batch results warm-start streaming."""
+        result = sparsify_graph(grid, sigma2=90.0, seed=0)
+        save_result(tmp_path / "res", result)
+        dyn = DynamicSparsifier.from_result(load_result(tmp_path / "res"),
+                                            seed=1)
+        assert np.array_equal(dyn.edge_mask, result.edge_mask)
+
+    def test_kind_mismatch_rejected(self, tmp_path, grid):
+        dyn = DynamicSparsifier(grid, sigma2=90.0, seed=0)
+        save_dynamic(tmp_path / "ck", dyn)
+        with pytest.raises(ValueError, match="not a SparsifyResult"):
+            load_result(tmp_path / "ck")

@@ -87,6 +87,69 @@ class TestSparsifyDisconnected:
         assert "shards" in capsys.readouterr().out
 
 
+class TestStreamCommand:
+    @pytest.fixture
+    def stream_files(self, tmp_path):
+        from repro.stream import random_event_stream, write_event_log
+
+        graph = generators.grid2d(10, 10, weights="uniform", seed=5)
+        graph_path = tmp_path / "g.mtx"
+        write_matrix_market(graph_path, graph.adjacency(), symmetric=True)
+        events = random_event_stream(graph, 60, seed=2, p_delete=0.35)
+        log_path = tmp_path / "events.jsonl"
+        write_event_log(log_path, events)
+        return graph_path, log_path, graph, events
+
+    def test_replays_and_reports(self, stream_files, capsys):
+        graph_path, log_path, _, events = stream_files
+        code = main(["stream", str(log_path), "--graph", str(graph_path),
+                     "--sigma2", "150", "--batch-size", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"replaying {len(events)} events" in out
+        assert "batch    3:" in out
+        assert "sigma2 estimate" in out
+
+    def test_writes_output_and_checkpoint(self, stream_files, tmp_path, capsys):
+        graph_path, log_path, graph, _ = stream_files
+        out = tmp_path / "sparse.mtx"
+        ckpt = tmp_path / "state"
+        code = main(["stream", str(log_path), "--graph", str(graph_path),
+                     "-o", str(out), "--checkpoint-out", str(ckpt)])
+        assert code == 0
+        assert out.exists()
+        assert (tmp_path / "state.npz").exists()
+        assert (tmp_path / "state.json").exists()
+        sparsifier = load_graph_matrix_market(out)
+        assert sparsifier.n == graph.n
+
+    def test_resume_from_checkpoint(self, stream_files, tmp_path, capsys):
+        from repro.stream import load_dynamic, random_event_stream, write_event_log
+
+        graph_path, log_path, _, _ = stream_files
+        ckpt = tmp_path / "state"
+        main(["stream", str(log_path), "--graph", str(graph_path),
+              "--checkpoint-out", str(ckpt)])
+        # Events valid against the *checkpointed* (mutated) graph.
+        mutated = load_dynamic(ckpt).graph
+        log2 = tmp_path / "more.npz"
+        write_event_log(log2, random_event_stream(mutated, 20, seed=9))
+        capsys.readouterr()
+        code = main(["stream", str(log2), "--resume", str(ckpt)])
+        assert code == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_requires_graph_or_resume(self, stream_files, capsys):
+        _, log_path, _, _ = stream_files
+        assert main(["stream", str(log_path)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_graph_and_resume_mutually_exclusive(self, stream_files, tmp_path):
+        graph_path, log_path, _, _ = stream_files
+        assert main(["stream", str(log_path), "--graph", str(graph_path),
+                     "--resume", str(tmp_path / "nope")]) == 2
+
+
 class TestSimilarityCommand:
     def test_reports_estimates(self, graph_file, tmp_path, capsys):
         path, _ = graph_file

@@ -1,4 +1,4 @@
-"""Docstring completeness checks for the ``sparsify`` and ``solvers`` packages.
+"""Docstring completeness checks: ``sparsify``, ``solvers``, ``stream``.
 
 A lightweight, dependency-free stand-in for ``pydocstyle`` plus numpydoc
 section enforcement.  For every public function — module-level functions
@@ -29,8 +29,9 @@ import pytest
 
 import repro.solvers
 import repro.sparsify
+import repro.stream
 
-PACKAGES = (repro.sparsify, repro.solvers)
+PACKAGES = (repro.sparsify, repro.solvers, repro.stream)
 
 _SECTION_UNDERLINE = "---"
 

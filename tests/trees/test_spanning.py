@@ -6,6 +6,7 @@ import pytest
 from repro.graphs import Graph, generators, is_connected
 from repro.trees import (
     DisjointSet,
+    complete_forest,
     kruskal,
     maximum_weight_spanning_tree,
     minimum_spanning_tree,
@@ -91,3 +92,59 @@ class TestTreeProperties:
         g = Graph(3, [0, 0, 1], [1, 2, 2], [10.0, 1.0, 1.0])
         idx = maximum_weight_spanning_tree(g)
         assert 0 in idx  # the heavy (0,1) edge is canonical index 0
+
+
+class TestCompleteForest:
+    def test_already_spanning_is_noop(self, grid_weighted):
+        tree = kruskal(grid_weighted)
+        assert complete_forest(grid_weighted, tree).size == 0
+
+    def test_reconnects_after_deletions(self, grid_weighted, rng):
+        tree = kruskal(grid_weighted)
+        keep = np.ones(tree.size, dtype=bool)
+        keep[rng.choice(tree.size, size=5, replace=False)] = False
+        forest = tree[keep]
+        bridges = complete_forest(grid_weighted, forest)
+        assert bridges.size == 5
+        combined = np.sort(np.concatenate([forest, bridges]))
+        assert is_connected(grid_weighted.edge_subgraph(combined))
+        assert combined.size == grid_weighted.n - 1
+
+    def test_prefers_high_score_bridges(self):
+        # Path 0-1-2 with forest {(0,1)}; candidates to attach 2:
+        # (1,2) light and (0,2) heavy — the heavy one must win.
+        g = Graph(3, [0, 1, 0], [1, 2, 2], [1.0, 0.5, 8.0])
+        forest = g.edge_indices(np.array([0]), np.array([1]))
+        bridges = complete_forest(g, forest)
+        assert bridges.tolist() == g.edge_indices(
+            np.array([0]), np.array([2])
+        ).tolist()
+
+    def test_custom_scores_override_weights(self):
+        g = Graph(3, [0, 1, 0], [1, 2, 2], [1.0, 0.5, 8.0])
+        forest = g.edge_indices(np.array([0]), np.array([1]))
+        light = g.edge_indices(np.array([1]), np.array([2]))
+        scores = np.zeros(g.num_edges)
+        scores[light] = 10.0  # boost the light edge above the heavy one
+        bridges = complete_forest(g, forest, scores=scores)
+        assert bridges.tolist() == light.tolist()
+
+    def test_empty_forest_builds_spanning_structure(self, cycle6):
+        bridges = complete_forest(cycle6, np.array([], dtype=np.int64))
+        assert bridges.size == cycle6.n - 1
+        assert is_connected(cycle6.edge_subgraph(bridges))
+
+    def test_cycle_rejected(self, triangle):
+        with pytest.raises(ValueError, match="cycle"):
+            complete_forest(triangle, np.array([0, 1, 2]))
+
+    def test_disconnected_graph_rejected(self, path5):
+        from repro.graphs import disjoint_union
+
+        g = disjoint_union(path5, path5)
+        with pytest.raises(ValueError, match="disconnected"):
+            complete_forest(g, np.array([], dtype=np.int64))
+
+    def test_wrong_scores_shape_rejected(self, triangle):
+        with pytest.raises(ValueError, match="scores"):
+            complete_forest(triangle, np.array([0]), scores=np.array([1.0]))
