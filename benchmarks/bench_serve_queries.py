@@ -1,0 +1,132 @@
+"""Query-serving throughput: batched engine vs naive per-query solves.
+
+The serving subsystem's reason to exist: a σ²-certified sparsifier is
+a *reusable* proxy — the registry keeps it (and its factorization)
+warm, and the engine coalesces query batches into multi-RHS solves.
+Serving without the subsystem means naive per-query answering: every
+resistance request pays its own Laplacian solve against its own
+factorization, because nothing holds warm state between requests.
+Headline target: ≥ 5x resistance-query throughput on
+``grid2d(200, 200)`` (scaled by ``REPRO_SCALE``) for the batched
+:class:`~repro.serve.QueryEngine` over that naive path, with identical
+answers.  The warm per-query loop (shared factorization, one solve per
+query) is also reported, isolating the artifact-reuse win from the
+multi-RHS coalescing win.
+
+Run explicitly (benchmarks are not collected by the default test run):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_queries.py -v -s
+
+CI runs this file with ``--smoke``: tiny sizes, parity asserts only.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.graphs import generators
+from repro.serve import QueryEngine
+from repro.solvers import DirectSolver
+from repro.sparsify import exact_effective_resistances
+from repro.stream import DynamicSparsifier, random_event_stream
+
+SIGMA2 = 100.0
+
+
+def _query_pairs(n, count, rng):
+    pairs = rng.integers(0, n, size=(count, 2))
+    fix = pairs[:, 0] == pairs[:, 1]
+    pairs[fix, 1] = (pairs[fix, 0] + 1) % n
+    return pairs
+
+
+def test_batched_engine_beats_per_query_solves(scale, smoke):
+    """Acceptance: the warm batched engine answers k resistance queries
+    ≥ 5x faster than naive per-query serving, with identical answers."""
+    side = 36 if smoke else max(100, int(200 * scale))
+    queries = 16 if smoke else 64
+    graph = generators.grid2d(side, side, weights="uniform", seed=4)
+    dyn = DynamicSparsifier(graph, sigma2=SIGMA2, seed=0)
+    engine = QueryEngine(dyn)
+    rng = np.random.default_rng(11)
+    pairs = _query_pairs(graph.n, queries, rng)
+
+    sparsifier = dyn.sparsifier()
+    dyn.solver()  # warm the engine's factorization out of the timed region
+    engine.resistance(pairs[:2])
+
+    # Naive serving: no warm artifact — each query factorizes and solves.
+    start = time.perf_counter()
+    naive = np.concatenate([
+        exact_effective_resistances(
+            sparsifier,
+            pair[None, :],
+            solver=DirectSolver(sparsifier.laplacian().tocsc()),
+        )
+        for pair in pairs
+    ])
+    t_naive = time.perf_counter() - start
+
+    # Warm per-query loop: shared factorization, one solve per query.
+    warm_solver = DirectSolver(sparsifier.laplacian().tocsc())
+    start = time.perf_counter()
+    warm = np.concatenate([
+        exact_effective_resistances(sparsifier, pair[None, :], solver=warm_solver)
+        for pair in pairs
+    ])
+    t_warm = time.perf_counter() - start
+
+    # Batched engine: one call, multi-RHS solves against the warm solver.
+    start = time.perf_counter()
+    batched = engine.resistance(pairs)
+    t_batched = time.perf_counter() - start
+
+    assert np.allclose(naive, batched)
+    assert np.allclose(warm, batched)
+    speedup = t_naive / max(t_batched, 1e-12)
+    print(
+        f"\ngrid2d({side}x{side}), {queries} resistance queries: "
+        f"naive per-query {t_naive:.3f}s vs warm per-query {t_warm:.3f}s "
+        f"vs batched engine {t_batched:.3f}s ({speedup:.1f}x over naive, "
+        f"{queries / max(t_batched, 1e-12):,.0f} q/s batched)"
+    )
+    if not smoke:
+        assert speedup >= 5.0
+
+
+def test_micro_batch_flush_coalesces_submissions(smoke):
+    """Cross-request micro-batching: k submitted queries execute as one
+    multi-RHS solve and agree with direct answers."""
+    side = 16 if smoke else 40
+    graph = generators.grid2d(side, side, weights="uniform", seed=7)
+    engine = QueryEngine(DynamicSparsifier(graph, sigma2=SIGMA2, seed=0))
+    rng = np.random.default_rng(3)
+    pairs = _query_pairs(graph.n, 48, rng)
+
+    handles = [engine.submit_resistance(int(u), int(v)) for u, v in pairs]
+    first = handles[0].result()  # one flush serves every submitter
+    assert engine.stats.flushes == 1
+    assert engine.stats.flushed_columns == len(handles)
+    assert all(h.ready for h in handles)
+    direct = engine.resistance(pairs)
+    assert np.allclose([h.result() for h in handles], direct)
+    assert first == direct[0]
+
+
+def test_serving_stays_fresh_under_churn(smoke):
+    """Queries interleaved with event batches answer against the
+    updated graph at every step (parity with a cold engine)."""
+    side = 14 if smoke else 30
+    graph = generators.grid2d(side, side, weights="uniform", seed=9)
+    dyn = DynamicSparsifier(graph, sigma2=SIGMA2, seed=1)
+    engine = QueryEngine(dyn)
+    events = random_event_stream(graph, 60, seed=2, p_delete=0.35)
+    rng = np.random.default_rng(5)
+    for start in range(0, len(events), 20):
+        dyn.apply(events[start : start + 20])
+        pairs = _query_pairs(dyn.graph.n, 8, rng)
+        served = engine.resistance(pairs)
+        cold = exact_effective_resistances(dyn.sparsifier(), pairs)
+        assert np.allclose(served, cold)

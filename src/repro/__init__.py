@@ -13,6 +13,11 @@ Sparsification by Edge Filtering"*, DAC 2018.  The package provides:
   :class:`~repro.stream.DynamicSparsifier` keeps the σ² guarantee as
   edge insert/delete/reweight events arrive, with checkpointing for
   warm restarts;
+- query serving under :mod:`repro.serve` — a content-addressed
+  sparsifier registry with LRU spill-to-disk plus a batched
+  :class:`~repro.serve.QueryEngine` (and stdlib HTTP service)
+  answering resistance/solve/similarity/embedding queries against the
+  warm sparsifier proxy;
 - the paper's three applications under :mod:`repro.apps` (SDD solver,
   spectral partitioner, complex-network simplification);
 - experiment regenerators for every table/figure under

@@ -1,6 +1,6 @@
 """Command-line interface: sparsify Matrix Market graphs from the shell.
 
-Four subcommands:
+Five subcommands:
 
 ``sparsify``
     Compute a σ²-similar sparsifier of a ``.mtx`` graph/SDD matrix.
@@ -17,6 +17,12 @@ Four subcommands:
     (``--graph``) or a saved checkpoint (``--resume``); optionally
     persist a checkpoint (``--checkpoint-out``) and the final
     sparsifier (``--output``) at the end.
+``serve``
+    Run the query-serving subsystem (:mod:`repro.serve`): register
+    graphs into a content-addressed sparsifier registry and answer
+    resistance/solve/similarity/embedding queries over a JSON HTTP
+    API, with ``POST /events`` streaming edge updates into the live
+    sparsifiers.
 ``similarity``
     Estimate the spectral similarity (λmax, λmin, κ, σ) of two graphs.
 ``generate``
@@ -55,6 +61,10 @@ the end::
     # next day: resume from the checkpoint
     python -m repro stream churn2.jsonl --resume state/ckpt -o sparsifier.mtx
 
+Serve spectral queries over HTTP, preloading one graph::
+
+    python -m repro serve --port 8734 --graph grid.mtx --sigma2 100
+
 Report the spectral similarity between two graphs::
 
     python -m repro similarity graph.mtx sparsifier.mtx
@@ -62,6 +72,11 @@ Report the spectral similarity between two graphs::
 Generate a synthetic workload::
 
     python -m repro generate circuit_grid --out grid.mtx --size 64
+
+Exit codes are distinct per failure class: ``0`` success, ``2`` usage
+errors (argparse and mutually exclusive flags), ``3`` missing input
+files, ``4`` invalid input data (malformed files, bad parameter
+values).
 """
 
 from __future__ import annotations
@@ -69,10 +84,21 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.graphs import generators
 from repro.graphs.io import load_graph_matrix_market, write_matrix_market
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_USAGE",
+    "EXIT_MISSING_INPUT",
+    "EXIT_INVALID_DATA",
+]
+
+EXIT_USAGE = 2
+EXIT_MISSING_INPUT = 3
+EXIT_INVALID_DATA = 4
 
 _GENERATORS = {
     "grid2d": lambda size, seed: generators.grid2d(size, size, weights="uniform", seed=seed),
@@ -98,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Similarity-aware spectral graph sparsification (DAC'18)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -154,6 +183,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the final sparsifier adjacency (.mtx)")
     p_stream.add_argument("--checkpoint-out", default=None,
                           help="write an npz+json checkpoint after replay")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve spectral queries from registered sparsifiers over HTTP",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8734,
+                         help="TCP port; 0 picks a free one (default 8734)")
+    p_serve.add_argument("--spool-dir", default=None,
+                         help="directory for LRU eviction checkpoints "
+                              "(default: a fresh temporary directory)")
+    p_serve.add_argument("--max-resident", type=int, default=4,
+                         help="live sparsifiers held in memory; the rest "
+                              "spill to the spool directory (default 4)")
+    p_serve.add_argument("--graph", action="append", default=[],
+                         metavar="MTX", dest="graphs",
+                         help="Matrix Market graph to register at startup "
+                              "(repeatable)")
+    p_serve.add_argument("--sigma2", type=float, default=100.0,
+                         help="similarity target for preloaded graphs "
+                              "(default 100)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--tree", default="akpw",
+                         choices=["akpw", "spt", "maxw", "random"])
+    p_serve.add_argument("--port-file", default=None,
+                         help="write the bound port to this file once "
+                              "listening (for scripts and tests)")
 
     p_similarity = sub.add_parser(
         "similarity", help="estimate the similarity of two .mtx graphs"
@@ -213,7 +270,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if (args.graph is None) == (args.resume is None):
         print("error: provide exactly one of --graph or --resume",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.resume is not None:
         dyn = load_dynamic(args.resume)
         print(f"resumed: {dyn.graph.n} vertices, {dyn.num_edges} sparsifier "
@@ -263,6 +320,40 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import SparsifierRegistry, SparsifierService
+
+    spool = args.spool_dir or tempfile.mkdtemp(prefix="repro-serve-")
+    registry = SparsifierRegistry(spool, max_resident=args.max_resident)
+    for path in args.graphs:
+        graph = load_graph_matrix_market(path)
+        key = registry.register(
+            graph, sigma2=args.sigma2, seed=args.seed, tree_method=args.tree
+        )
+        dyn = registry.get(key).dynamic
+        print(f"registered {path}: key={key} ({graph.n} vertices, "
+              f"{dyn.num_edges} sparsifier edges, sigma2 estimate "
+              f"{dyn.last_estimate:.1f})")
+    service = SparsifierService(registry, host=args.host, port=args.port)
+    service.start()
+    host, port = service.address
+    if args.port_file:
+        Path(args.port_file).write_text(str(port), encoding="utf-8")
+    print(f"serving on http://{host}:{port} (spool: {spool}; "
+          f"POST /shutdown to stop)")
+    try:
+        service.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted")
+    finally:
+        service.stop()
+    print("server stopped")
+    return 0
+
+
 def _cmd_similarity(args: argparse.Namespace) -> int:
     from repro.sparsify import estimate_condition_number
 
@@ -288,15 +379,36 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Parameters
+    ----------
+    argv:
+        Argument vector (default: ``sys.argv[1:]``).
+
+    Returns
+    -------
+    int
+        ``0`` on success; ``2`` usage error (raised as ``SystemExit``
+        by argparse, returned directly for flag conflicts); ``3`` when
+        an input file is missing; ``4`` on invalid input data.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "sparsify": _cmd_sparsify,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
         "similarity": _cmd_similarity,
         "generate": _cmd_generate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: input file not found: {exc}", file=sys.stderr)
+        return EXIT_MISSING_INPUT
+    except ValueError as exc:
+        print(f"error: invalid input: {exc}", file=sys.stderr)
+        return EXIT_INVALID_DATA
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main

@@ -1,0 +1,497 @@
+"""JSON-over-HTTP query service and its in-process client.
+
+A thin stdlib (:class:`http.server.ThreadingHTTPServer`) front end over
+a :class:`~repro.serve.SparsifierRegistry` — no framework, no new
+dependencies.  One handler thread per connection; per-artifact engine
+locks serialize queries against event application, and the registry
+lock serializes admissions/evictions.
+
+Routes (all bodies and responses are JSON):
+
+=======  =====================  ==============================================
+Method   Path                   Action
+=======  =====================  ==============================================
+GET      ``/stats``             registry snapshot (keys, residency, counters)
+POST     ``/graphs``            register ``{n, u, v, w, sigma2?, seed?, ...}``
+POST     ``/query/resistance``  ``{key, pairs}`` → effective resistances
+POST     ``/query/similarity``  ``{key, pairs}`` → ``w·R_eff`` edge scores
+POST     ``/query/solve``       ``{key, rhs}`` → ``L_P⁺ rhs``
+POST     ``/query/embedding``   ``{key, nodes?, dim?}`` → spectral coordinates
+POST     ``/events``            ``{key, events}`` → apply a stream batch
+POST     ``/shutdown``          stop serving (after responding)
+=======  =====================  ==============================================
+
+Event records use the same shape as the JSONL event-log format
+(:mod:`repro.stream.events`): ``{"type": "insert"|"delete"|"update",
+"u": int, "v": int, "w": float}`` (``w`` absent on deletes), so a
+captured log line can be POSTed verbatim.
+
+Error mapping: malformed JSON or a :class:`ValueError` from the layers
+below → ``400``; an unknown artifact key or route → ``404``.  The
+response body is ``{"error": message}``.
+
+:class:`ServeClient` is the matching in-process client (stdlib
+``urllib``), used by the CLI, the tests and the benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.serve.registry import SparsifierRegistry
+from repro.stream.events import EdgeDelete, EdgeEvent, EdgeInsert, WeightUpdate
+
+__all__ = ["ServeClient", "ServiceError", "SparsifierService"]
+
+_EVENT_TYPES = {"insert": EdgeInsert, "delete": EdgeDelete, "update": WeightUpdate}
+_EVENT_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+
+def _event_from_record(record: dict) -> EdgeEvent:
+    """One JSON record → one validated edge event."""
+    if not isinstance(record, dict):
+        raise ValueError(f"event record must be an object, got {record!r}")
+    kind = record.get("type")
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event type {kind!r}")
+    try:
+        if cls is EdgeDelete:
+            return EdgeDelete(int(record["u"]), int(record["v"]))
+        return cls(int(record["u"]), int(record["v"]), float(record["w"]))
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed {kind} event record: {exc}") from exc
+
+
+def _event_to_record(event: EdgeEvent) -> dict:
+    """One edge event → its JSON record (the JSONL log shape)."""
+    record = {"type": _EVENT_NAMES[type(event)], "u": int(event.u), "v": int(event.v)}
+    if not isinstance(event, EdgeDelete):
+        record["w"] = float(event.w)
+    return record
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the bound service (internal)."""
+
+    service: "SparsifierService"  # bound per-service via a subclass
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # no stderr chatter from handler threads
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/stats":
+            self._send(200, self.service._registry.describe())
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            self._send(400, {"error": f"request body is not JSON: {exc}"})
+            return
+        try:
+            result = self.service._dispatch(self.path, payload)
+        except KeyError as exc:
+            self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+            return
+        except (ValueError, TypeError) as exc:
+            # TypeError covers payloads that are JSON but the wrong
+            # shape (e.g. unexpected register parameters, a scalar
+            # where a list belongs) — still the client's fault.
+            self._send(400, {"error": str(exc)})
+            return
+        self._send(200, result)
+        if self.path == "/shutdown":
+            # Stop the serve_forever loop from outside the handler thread
+            # once the response is on the wire.
+            threading.Thread(
+                target=self.service._server.shutdown, daemon=True
+            ).start()
+
+
+class SparsifierService:
+    """HTTP front end serving spectral queries from a registry.
+
+    Parameters
+    ----------
+    registry:
+        The artifact store to serve from (shared with in-process code).
+    host:
+        Bind address (default loopback).
+    port:
+        TCP port; ``0`` picks a free one (see :attr:`address`).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.graphs import generators
+    >>> from repro.serve import ServeClient, SparsifierRegistry, SparsifierService
+    >>> registry = SparsifierRegistry(tempfile.mkdtemp())
+    >>> with SparsifierService(registry) as service:
+    ...     client = ServeClient(service.url)
+    ...     key = client.register(generators.grid2d(6, 6, seed=0), sigma2=150.0)
+    ...     float(client.resistance(key, [[0, 0]])[0])
+    0.0
+    """
+
+    def __init__(
+        self,
+        registry: SparsifierRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        handler = type("_BoundHandler", (_Handler,), {"service": self})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def registry(self) -> SparsifierRegistry:
+        """The artifact store the service answers from."""
+        return self._registry
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Start serving on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, daemon=True
+            )
+            self._thread.start()
+
+    def wait(self) -> None:
+        """Block until the serve loop exits (``POST /shutdown``)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def stop(self) -> None:
+        """Stop the serve loop and close the listening socket."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "SparsifierService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, path: str, payload: dict) -> dict:
+        routes = {
+            "/graphs": self._post_graphs,
+            "/query/resistance": self._post_resistance,
+            "/query/similarity": self._post_similarity,
+            "/query/solve": self._post_solve,
+            "/query/embedding": self._post_embedding,
+            "/events": self._post_events,
+            "/shutdown": lambda payload: {"ok": True},
+        }
+        handler = routes.get(path)
+        if handler is None:
+            raise KeyError(f"unknown path {path!r}")
+        return handler(payload)
+
+    @staticmethod
+    def _required(payload: dict, field: str):
+        value = payload.get(field)
+        if value is None:
+            raise ValueError(f"missing required field {field!r}")
+        return value
+
+    def _post_graphs(self, payload: dict) -> dict:
+        graph = Graph(
+            int(self._required(payload, "n")),
+            np.asarray(self._required(payload, "u"), dtype=np.int64),
+            np.asarray(self._required(payload, "v"), dtype=np.int64),
+            np.asarray(self._required(payload, "w"), dtype=np.float64),
+        )
+        params = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("n", "u", "v", "w")
+        }
+        key = self._registry.register(graph, **params)
+        entry = self._registry.get(key)
+        return {
+            "key": key,
+            "num_vertices": int(entry.dynamic.graph.n),
+            "num_edges": int(entry.dynamic.num_edges),
+            "sigma2": float(entry.dynamic.sigma2),
+            "sigma2_estimate": _finite(entry.dynamic.last_estimate),
+        }
+
+    def _post_resistance(self, payload: dict) -> dict:
+        engine = self._registry.engine(self._required(payload, "key"))
+        values = engine.resistance(self._required(payload, "pairs"))
+        return {"values": values.tolist()}
+
+    def _post_similarity(self, payload: dict) -> dict:
+        engine = self._registry.engine(self._required(payload, "key"))
+        values = engine.similarity(self._required(payload, "pairs"))
+        return {"values": values.tolist()}
+
+    def _post_solve(self, payload: dict) -> dict:
+        engine = self._registry.engine(self._required(payload, "key"))
+        x = engine.solve(np.asarray(self._required(payload, "rhs"), dtype=np.float64))
+        return {"x": x.tolist()}
+
+    def _post_embedding(self, payload: dict) -> dict:
+        engine = self._registry.engine(self._required(payload, "key"))
+        nodes = payload.get("nodes")
+        coords = engine.embedding(
+            None if nodes is None else np.asarray(nodes, dtype=np.int64),
+            dim=int(payload.get("dim", 2)),
+        )
+        return {"coordinates": coords.tolist()}
+
+    def _post_events(self, payload: dict) -> dict:
+        key = self._required(payload, "key")
+        records = self._required(payload, "events")
+        events = [_event_from_record(r) for r in records]
+        report = self._registry.apply_events(key, events)
+        return {
+            "batch": report.batch,
+            "num_events": report.num_events,
+            "inserted": report.inserted,
+            "deleted": report.deleted,
+            "reweighted": report.reweighted,
+            "tree_repairs": report.tree_repairs,
+            "tree_rebuilt": report.tree_rebuilt,
+            "checked": report.checked,
+            "redensified": report.redensified,
+            "sigma2_estimate": _finite(report.sigma2_estimate),
+            "num_edges": report.num_edges,
+            "elapsed": report.elapsed,
+        }
+
+
+def _finite(value: float) -> float | None:
+    """NaN-free float for JSON payloads (NaN becomes None)."""
+    return None if np.isnan(value) else float(value)
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service, carrying the HTTP status.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = int(status)
+
+
+class ServeClient:
+    """In-process JSON client for :class:`SparsifierService`.
+
+    Parameters
+    ----------
+    url:
+        Service base URL (``service.url``).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (json.JSONDecodeError, ValueError):  # pragma: no cover
+                message = str(exc)
+            raise ServiceError(exc.code, message) from exc
+
+    def register(self, graph: Graph, **params) -> str:
+        """Register a graph with the service.
+
+        Parameters
+        ----------
+        graph:
+            Connected host graph.
+        params:
+            Sparsify parameters (``sigma2``, ``seed``, ``tree_method``,
+            ...), forwarded to
+            :meth:`~repro.serve.SparsifierRegistry.register`.
+
+        Returns
+        -------
+        str
+            The artifact key to pass to the query methods.
+        """
+        payload = {
+            "n": int(graph.n),
+            "u": graph.u.tolist(),
+            "v": graph.v.tolist(),
+            "w": graph.w.tolist(),
+            **params,
+        }
+        return self._request("POST", "/graphs", payload)["key"]
+
+    def resistance(self, key: str, pairs) -> np.ndarray:
+        """Effective resistances of vertex pairs.
+
+        Parameters
+        ----------
+        key:
+            Artifact key from :meth:`register`.
+        pairs:
+            ``(k, 2)`` vertex pairs.
+
+        Returns
+        -------
+        numpy.ndarray
+            One resistance per pair.
+        """
+        payload = {"key": key, "pairs": np.asarray(pairs).tolist()}
+        return np.asarray(
+            self._request("POST", "/query/resistance", payload)["values"]
+        )
+
+    def similarity(self, key: str, pairs) -> np.ndarray:
+        """Edge similarity scores ``w·R_eff`` of host edges.
+
+        Parameters
+        ----------
+        key:
+            Artifact key from :meth:`register`.
+        pairs:
+            ``(k, 2)`` endpoint pairs, each a host edge.
+
+        Returns
+        -------
+        numpy.ndarray
+            One score per edge.
+        """
+        payload = {"key": key, "pairs": np.asarray(pairs).tolist()}
+        return np.asarray(
+            self._request("POST", "/query/similarity", payload)["values"]
+        )
+
+    def solve(self, key: str, rhs) -> np.ndarray:
+        """Apply ``L_P⁺`` to a right-hand side.
+
+        Parameters
+        ----------
+        key:
+            Artifact key from :meth:`register`.
+        rhs:
+            Vector (length ``n``) or matrix (``n`` rows).
+
+        Returns
+        -------
+        numpy.ndarray
+            The solution, with the shape of ``rhs``.
+        """
+        payload = {"key": key, "rhs": np.asarray(rhs).tolist()}
+        return np.asarray(self._request("POST", "/query/solve", payload)["x"])
+
+    def embedding(self, key: str, nodes=None, dim: int = 2) -> np.ndarray:
+        """Spectral-drawing coordinates of vertices.
+
+        Parameters
+        ----------
+        key:
+            Artifact key from :meth:`register`.
+        nodes:
+            Vertex labels (default: all vertices).
+        dim:
+            Embedding dimension.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(len(nodes), dim)`` coordinates.
+        """
+        payload: dict = {"key": key, "dim": int(dim)}
+        if nodes is not None:
+            payload["nodes"] = np.asarray(nodes).tolist()
+        return np.asarray(
+            self._request("POST", "/query/embedding", payload)["coordinates"]
+        )
+
+    def events(self, key: str, events) -> dict:
+        """Stream an edge-event batch into a served artifact.
+
+        Parameters
+        ----------
+        key:
+            Artifact key from :meth:`register`.
+        events:
+            :class:`~repro.stream.events.EdgeEvent` instances or raw
+            JSONL-shaped records (dicts).
+
+        Returns
+        -------
+        dict
+            The batch report (counts, repairs, σ² estimate).
+        """
+        records = [
+            e if isinstance(e, dict) else _event_to_record(e) for e in events
+        ]
+        return self._request("POST", "/events", {"key": key, "events": records})
+
+    def stats(self) -> dict:
+        """Registry snapshot (keys, residency, traffic counters).
+
+        Returns
+        -------
+        dict
+            The ``GET /stats`` payload.
+        """
+        return self._request("GET", "/stats")
+
+    def shutdown(self) -> None:
+        """Ask the service to stop serving (after it responds)."""
+        self._request("POST", "/shutdown", {})

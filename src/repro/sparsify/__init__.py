@@ -32,6 +32,7 @@ from repro.sparsify.parallel import (
 from repro.sparsify.effective_resistance import (
     approx_effective_resistances,
     exact_effective_resistances,
+    validate_pairs,
 )
 from repro.sparsify.baselines import (
     effective_resistance_sparsifier,
@@ -77,6 +78,7 @@ __all__ = [
     "shard_rngs",
     "exact_effective_resistances",
     "approx_effective_resistances",
+    "validate_pairs",
     "tree_sparsifier",
     "uniform_sparsifier",
     "effective_resistance_sparsifier",

@@ -345,6 +345,37 @@ class DynamicSparsifier:
         """Current sparsifier edge count."""
         return int(self.edge_mask.sum())
 
+    @property
+    def state_token(self) -> tuple[int, int, int]:
+        """Opaque token that changes whenever a batch commits.
+
+        The serving layer (:mod:`repro.serve`) compares tokens to decide
+        when query-side caches (spectral embeddings, derived views) must
+        be invalidated.  Every :meth:`apply` call advances the token;
+        out-of-band probes like :meth:`quality` do not.
+        """
+        return (self.batches_applied, self.events_applied, self.redensify_count)
+
+    def solver(self) -> Solver:
+        """The warm managed solver of the current sparsifier Laplacian.
+
+        Built lazily on first use and carried across event batches —
+        tier-1 repair absorbs edge deltas through its
+        :meth:`~repro.solvers.base.Solver.update` hook instead of
+        re-factorizing, which is what makes repeated queries against the
+        live sparsifier nearly free.  The serving layer's
+        :class:`~repro.serve.QueryEngine` answers all solve-backed
+        queries through this handle.
+
+        Returns
+        -------
+        Solver
+            A solver applying ``L_P⁺`` for the current sparsifier
+            (mean-free minimum-norm representative on singular
+            Laplacians).
+        """
+        return self._ensure_solver()
+
     def quality(
         self, seed: int | np.random.Generator | None = 0
     ) -> SimilarityEstimate:

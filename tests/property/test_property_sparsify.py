@@ -6,7 +6,9 @@ from hypothesis import given, settings, strategies as st
 from repro.solvers import DirectSolver
 from repro.sparsify import (
     SparsifierState,
+    approx_effective_resistances,
     exact_condition_number,
+    exact_effective_resistances,
     heat_threshold,
     normalized_heats,
     quadratic_form_ratios,
@@ -72,6 +74,60 @@ class TestPipelineInvariants:
         tight = sparsify_graph(graph, sigma2=5.0, seed=0)
         loose = sparsify_graph(graph, sigma2=500.0, seed=0)
         assert tight.sparsifier.num_edges >= loose.sparsifier.num_edges
+
+
+class TestJLSketchProperties:
+    """The JL sketch tracks exact resistances within ``(1 ± ε)``.
+
+    The implementation quarters the conservative ``24 log n / ε²``
+    union-bound constant, which halves the *certified* accuracy: a
+    sketch built at width ``ε/2`` carries the full-constant guarantee
+    for ``ε``.  The property is therefore asserted in that certified
+    form — every edge (and arbitrary queried pair) within ``(1 ± ε)``
+    of exact, across random connected graphs, sketch seeds and ε.
+    """
+
+    @given(
+        connected_graphs(max_n=30),
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.2, max_value=0.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_edges_within_epsilon_of_exact(self, graph, seed, epsilon):
+        exact = exact_effective_resistances(graph)
+        approx = approx_effective_resistances(
+            graph, epsilon=epsilon / 2.0, seed=seed
+        )
+        rel = np.abs(approx - exact) / exact
+        assert rel.max() <= epsilon
+
+    @given(
+        connected_graphs(max_n=24),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary_pairs_within_epsilon_of_exact(self, graph, seed):
+        """The same sketch certifies non-edge pairs (serving workload)."""
+        epsilon = 0.3
+        rng = np.random.default_rng(seed)
+        pairs = rng.integers(0, graph.n, size=(12, 2))
+        exact = exact_effective_resistances(graph, pairs)
+        approx = approx_effective_resistances(
+            graph, epsilon=epsilon / 2.0, seed=seed, pairs=pairs
+        )
+        distinct = pairs[:, 0] != pairs[:, 1]
+        assert np.array_equal(approx[~distinct], np.zeros((~distinct).sum()))
+        rel = np.abs(approx[distinct] - exact[distinct]) / exact[distinct]
+        if distinct.any():
+            assert rel.max() <= epsilon
+
+    @given(connected_graphs(max_n=20), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_foster_sum_tracks_n_minus_one(self, graph, seed):
+        """Foster's theorem transfers to the sketch within ε."""
+        approx = approx_effective_resistances(graph, epsilon=0.15, seed=seed)
+        total = float((graph.w * approx).sum())
+        assert abs(total - (graph.n - 1)) <= 0.3 * (graph.n - 1) + 1e-9
 
 
 class TestIncrementalStateProperties:

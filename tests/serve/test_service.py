@@ -1,0 +1,179 @@
+"""End-to-end tests for the HTTP query service and its client."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.serve import (
+    ServeClient,
+    ServiceError,
+    SparsifierRegistry,
+    SparsifierService,
+)
+from repro.stream import EdgeDelete, EdgeInsert, WeightUpdate
+
+
+SIGMA2 = 150.0
+
+
+@pytest.fixture
+def grid():
+    return generators.grid2d(9, 9, weights="uniform", seed=2)
+
+
+@pytest.fixture
+def service(tmp_path):
+    registry = SparsifierRegistry(tmp_path / "spool", max_resident=4)
+    with SparsifierService(registry) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    return ServeClient(service.url)
+
+
+class TestLifecycle:
+    def test_register_query_stream_query_sigma2_fresh(self, service, client, grid):
+        """The acceptance path: register → query → stream events → query,
+        with answers σ²-fresh after the updates."""
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        engine = service.registry.engine(key)
+
+        pairs = [[0, 80], [4, 44]]
+        before = client.resistance(key, pairs)
+        assert np.allclose(before, engine.resistance(pairs))
+
+        g = engine.dynamic.graph
+        report = client.events(key, [
+            EdgeInsert(0, 80, 5.0),
+            EdgeDelete(int(g.u[-1]), int(g.v[-1])),
+            WeightUpdate(int(g.u[0]), int(g.v[0]), 3.0),
+        ])
+        assert report["inserted"] == 1
+        assert report["deleted"] == 1
+        assert report["reweighted"] == 1
+
+        after = client.resistance(key, pairs)
+        # The direct heavy edge must short pair (0, 80)...
+        assert after[0] < before[0]
+        assert after[0] <= 1.0 / 5.0 + 1e-9
+        # ...and the served certificate stays fresh: the event batch was
+        # drift-checked and the estimate still certifies the target.
+        assert report["checked"] is True
+        dyn = engine.dynamic
+        assert report["sigma2_estimate"] == pytest.approx(dyn.last_estimate)
+        assert dyn.last_estimate <= SIGMA2 * dyn.drift_tolerance + 1e-9
+
+    def test_register_is_content_addressed_over_http(self, client, grid):
+        k1 = client.register(grid, sigma2=SIGMA2, seed=0)
+        k2 = client.register(grid, sigma2=SIGMA2, seed=0)
+        assert k1 == k2
+
+    def test_stats_snapshot(self, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        stats = client.stats()
+        assert key in stats["artifacts"]
+        assert stats["artifacts"][key]["resident"] is True
+        assert stats["stats"]["builds"] == 1
+
+    def test_shutdown_stops_server(self, tmp_path, grid):
+        registry = SparsifierRegistry(tmp_path / "spool")
+        service = SparsifierService(registry)
+        service.start()
+        client = ServeClient(service.url)
+        client.shutdown()
+        service.wait()  # returns promptly once the loop exits
+        service.stop()
+
+
+class TestQueries:
+    def test_solve_roundtrip(self, service, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        rhs = np.zeros(grid.n)
+        rhs[0], rhs[-1] = 1.0, -1.0
+        x = client.solve(key, rhs)
+        engine = service.registry.engine(key)
+        assert np.allclose(x, engine.solve(rhs))
+
+    def test_similarity_roundtrip(self, service, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        pairs = np.column_stack([grid.u[:5], grid.v[:5]])
+        scores = client.similarity(key, pairs)
+        assert np.allclose(
+            scores, service.registry.engine(key).similarity(pairs)
+        )
+
+    def test_embedding_roundtrip(self, service, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        coords = client.embedding(key, nodes=[0, 1, 2], dim=2)
+        assert coords.shape == (3, 2)
+        assert np.allclose(
+            coords,
+            service.registry.engine(key).embedding(nodes=[0, 1, 2], dim=2),
+        )
+
+    def test_event_records_accepted_raw(self, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        report = client.events(
+            key, [{"type": "insert", "u": 0, "v": 44, "w": 1.5}]
+        )
+        assert report["inserted"] == 1
+
+
+class TestErrors:
+    def test_unknown_key_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.resistance("deadbeef00000000", [[0, 1]])
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/query/unknown", {})
+        assert excinfo.value.status == 404
+
+    def test_invalid_pairs_is_400(self, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.resistance(key, [[0, grid.n]])
+        assert excinfo.value.status == 400
+        assert "out of range" in str(excinfo.value)
+
+    def test_missing_field_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/query/resistance", {"pairs": [[0, 1]]})
+        assert excinfo.value.status == 400
+        assert "key" in str(excinfo.value)
+
+    def test_invalid_event_is_400(self, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.events(key, [{"type": "warp", "u": 0, "v": 1}])
+        assert excinfo.value.status == 400
+
+    def test_unexpected_register_param_is_400(self, client, grid):
+        """Wrong-shaped-but-valid-JSON payloads must map to 400, not 500."""
+        with pytest.raises(ServiceError) as excinfo:
+            client.register(grid, sigma2=SIGMA2, bogus_knob=1)
+        assert excinfo.value.status == 400
+
+    def test_non_object_event_record_is_400(self, client, grid):
+        key = client.register(grid, sigma2=SIGMA2, seed=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST", "/events", {"key": key, "events": ["not-a-record"]}
+            )
+        assert excinfo.value.status == 400
+
+    def test_malformed_json_is_400(self, client):
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.url + "/graphs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400

@@ -45,6 +45,81 @@ class TestExact:
         assert np.all(values <= 1.0 / grid_weighted.w + 1e-12)
 
 
+class TestPairValidation:
+    def test_out_of_range_raises_value_error(self, grid_weighted):
+        n = grid_weighted.n
+        with pytest.raises(ValueError, match="out of range"):
+            exact_effective_resistances(grid_weighted, np.array([[0, n]]))
+        with pytest.raises(ValueError, match="out of range"):
+            exact_effective_resistances(grid_weighted, np.array([[-1, 3]]))
+        with pytest.raises(ValueError, match="out of range"):
+            approx_effective_resistances(
+                grid_weighted, pairs=np.array([[0, n]])
+            )
+
+    def test_malformed_shape_raises(self, grid_weighted):
+        with pytest.raises(ValueError, match=r"\(k, 2\)"):
+            exact_effective_resistances(grid_weighted, np.array([0, 1, 2]))
+
+    def test_self_pairs_short_circuit_to_zero(self, grid_weighted):
+        pairs = np.array([[5, 5], [0, 1], [9, 9]])
+        values = exact_effective_resistances(grid_weighted, pairs)
+        assert values[0] == 0.0 and values[2] == 0.0
+        assert values[1] > 0.0
+
+    def test_all_self_pairs_need_no_factorization(self, grid_weighted):
+        """A degenerate batch must not pay for a Laplacian factorization."""
+
+        class _Boom:
+            def solve(self, rhs):  # pragma: no cover - must not be hit
+                raise AssertionError("solver used for self-pairs")
+
+        pairs = np.array([[3, 3], [7, 7]])
+        values = exact_effective_resistances(grid_weighted, pairs, solver=_Boom())
+        assert np.array_equal(values, np.zeros(2))
+
+    def test_self_pairs_excluded_from_solve_columns(self, grid_weighted):
+        """Mixed batches spend solve columns only on distinct pairs."""
+        columns = []
+
+        class _Spy:
+            def __init__(self, graph):
+                from repro.solvers import DirectSolver
+
+                self._inner = DirectSolver(graph.laplacian().tocsc())
+
+            def solve(self, rhs):
+                columns.append(rhs.shape[1])
+                return self._inner.solve(rhs)
+
+        pairs = np.array([[5, 5], [0, 1], [9, 9], [2, 40]])
+        exact_effective_resistances(grid_weighted, pairs, solver=_Spy(grid_weighted))
+        assert columns == [2]
+
+
+class TestApproximatePairs:
+    def test_pairs_match_edge_sketch(self, grid_weighted):
+        """Explicitly passing the edge list equals the default output."""
+        pairs = np.column_stack([grid_weighted.u, grid_weighted.v])
+        default = approx_effective_resistances(grid_weighted, seed=5)
+        explicit = approx_effective_resistances(grid_weighted, seed=5, pairs=pairs)
+        assert np.array_equal(default, explicit)
+
+    def test_non_edge_pairs_close_to_exact(self, grid_weighted):
+        pairs = np.array([[0, grid_weighted.n - 1], [3, 77]])
+        exact = exact_effective_resistances(grid_weighted, pairs)
+        approx = approx_effective_resistances(
+            grid_weighted, epsilon=0.2, seed=2, pairs=pairs
+        )
+        assert np.all(np.abs(approx - exact) / exact < 0.2)
+
+    def test_self_pairs_exactly_zero(self, grid_weighted):
+        values = approx_effective_resistances(
+            grid_weighted, seed=0, pairs=np.array([[4, 4]])
+        )
+        assert values[0] == 0.0
+
+
 class TestApproximate:
     def test_within_epsilon_mostly(self, grid_weighted):
         exact = exact_effective_resistances(grid_weighted)

@@ -1,9 +1,13 @@
 """Unit tests for the command-line interface."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
-from repro.cli import main
+from repro import __version__
+from repro.cli import EXIT_INVALID_DATA, EXIT_MISSING_INPUT, main
 from repro.graphs import generators
 from repro.graphs.io import load_graph_matrix_market, write_matrix_market
 
@@ -183,3 +187,87 @@ class TestGenerateCommand:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Invalid inputs map to distinct non-zero exit codes: 2 usage,
+    3 missing input file, 4 invalid input data."""
+
+    @pytest.fixture
+    def bad_mtx(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("this is not a matrix market header\n1 2 3\n")
+        return path
+
+    def test_missing_input_is_3(self, tmp_path, capsys):
+        out = str(tmp_path / "o.mtx")
+        missing = str(tmp_path / "nope.mtx")
+        assert main(["sparsify", missing, "-o", out]) == EXIT_MISSING_INPUT
+        assert main(["stream", missing, "--graph", missing]) == EXIT_MISSING_INPUT
+        assert main(["similarity", missing, missing]) == EXIT_MISSING_INPUT
+        assert main(["serve", "--graph", missing]) == EXIT_MISSING_INPUT
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_data_is_4(self, bad_mtx, tmp_path, capsys):
+        out = str(tmp_path / "o.mtx")
+        assert main(["sparsify", str(bad_mtx), "-o", out]) == EXIT_INVALID_DATA
+        assert main(["similarity", str(bad_mtx), str(bad_mtx)]) == EXIT_INVALID_DATA
+        assert "invalid input" in capsys.readouterr().err
+
+    def test_invalid_events_log_is_4(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"type": "warp", "u": 0, "v": 1}\n')
+        code = main(["stream", str(log), "--graph", str(path)])
+        assert code == EXIT_INVALID_DATA
+        assert "invalid input" in capsys.readouterr().err
+
+    def test_usage_error_still_2(self, graph_file, tmp_path):
+        _, _ = graph_file
+        log = tmp_path / "missing.jsonl"
+        assert main(["stream", str(log)]) == 2  # neither --graph nor --resume
+
+
+class TestServeCommand:
+    def test_serve_register_query_shutdown(self, graph_file, tmp_path, capsys):
+        from repro.serve import ServeClient
+
+        path, graph = graph_file
+        port_file = tmp_path / "port"
+        codes = {}
+
+        def run():
+            codes["exit"] = main([
+                "serve", "--port", "0", "--graph", str(path),
+                "--sigma2", "150", "--spool-dir", str(tmp_path / "spool"),
+                "--port-file", str(port_file),
+            ])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if port_file.exists() and port_file.read_text():
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("server never wrote its port file")
+
+        client = ServeClient(f"http://127.0.0.1:{port_file.read_text()}")
+        stats = client.stats()
+        (key,) = stats["artifacts"]
+        values = client.resistance(key, [[0, graph.n - 1]])
+        assert values.shape == (1,) and values[0] > 0
+        client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert codes["exit"] == 0
+        out = capsys.readouterr().out
+        assert "registered" in out and "server stopped" in out

@@ -1,4 +1,4 @@
-"""Docstring completeness checks: ``sparsify``, ``solvers``, ``stream``.
+"""Docstring checks: ``sparsify``, ``solvers``, ``stream``, ``serve``.
 
 A lightweight, dependency-free stand-in for ``pydocstyle`` plus numpydoc
 section enforcement.  For every public function — module-level functions
@@ -27,11 +27,12 @@ import textwrap
 
 import pytest
 
+import repro.serve
 import repro.solvers
 import repro.sparsify
 import repro.stream
 
-PACKAGES = (repro.sparsify, repro.solvers, repro.stream)
+PACKAGES = (repro.sparsify, repro.solvers, repro.stream, repro.serve)
 
 _SECTION_UNDERLINE = "---"
 
@@ -108,6 +109,8 @@ def test_audit_is_not_vacuous():
     assert len(names) > 40
     assert any("similarity_aware.sparsify_graph" in n for n in names)
     assert any("cholesky.DirectSolver.update" in n for n in names)
+    assert any("engine.QueryEngine.resistance" in n for n in names)
+    assert any("registry.SparsifierRegistry.register" in n for n in names)
 
 
 @pytest.mark.parametrize("qualified,func", CASES, ids=[n for n, _ in CASES])
