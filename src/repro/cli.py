@@ -9,6 +9,9 @@ Five subcommands:
     (:class:`repro.sparsify.parallel.ShardedSparsifier`), and
     ``--workers N`` sparsifies shards concurrently.  ``--shard-max-nodes``
     additionally splits oversized components along Fiedler sign cuts.
+    ``--profile`` prints the stage pipeline's per-stage timing/counter
+    table (tree/densify plus the estimate/embedding/filter/similarity
+    breakdown inside the loop).
 ``stream``
     Replay an edge-event log (``.jsonl``/``.npz``, see
     :mod:`repro.stream.events`) against a live
@@ -151,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sparsify.add_argument("--backend", default="auto",
                             choices=["auto", "serial", "thread", "process"],
                             help="shard execution backend (default auto)")
+    p_sparsify.add_argument("--profile", action="store_true",
+                            help="print the pipeline's per-stage "
+                                 "timing/counter table (sharded runs "
+                                 "report per-stage CPU totals across "
+                                 "shards)")
 
     p_stream = sub.add_parser(
         "stream",
@@ -255,6 +263,8 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
         ),
     )
     print(result.summary())
+    if args.profile and result.profile is not None:
+        print(result.profile.table())
     print(f"written: {args.output}")
     return 0
 

@@ -1,0 +1,71 @@
+"""The :class:`Stage` protocol of the unified sparsification pipeline.
+
+A stage is one named step of the paper's dataflow.  It declares which
+context names it consumes (``requires``) and which it defines
+(``provides``) so :class:`~repro.core.pipeline.SparsifyPipeline` can
+validate a composition before running it, and its :meth:`Stage.run`
+body mutates the shared :class:`~repro.core.context.PipelineContext`
+in place.  Timing is *not* a stage concern — the pipeline (and the
+loop-driver stages that invoke sub-stages) wrap every ``run`` call
+with a wall-clock timer and fold the optional counter dict each call
+returns into the run's :class:`~repro.core.profile.PipelineProfile`.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import PipelineContext
+
+__all__ = ["Stage"]
+
+
+class Stage:
+    """One named, instrumented step of the sparsification dataflow.
+
+    Subclasses set three class-level declarations and implement
+    :meth:`run`:
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used for profiling and display (e.g.
+        ``"tree"``; loop drivers record sub-stages as
+        ``"densify.filter"``).
+    requires:
+        Context names that must be available before the stage runs
+        (see :meth:`~repro.core.context.PipelineContext.has`).
+    provides:
+        Context names the stage defines, available to later stages.
+    child_names:
+        Profile names of sub-stages a loop-driver stage will record
+        (pre-registered so the profile table keeps logical order).
+    """
+
+    name: str = "stage"
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+    child_names: tuple[str, ...] = ()
+
+    def run(self, ctx: PipelineContext) -> dict | None:
+        """Execute the stage against the shared context.
+
+        Parameters
+        ----------
+        ctx:
+            The pipeline context; the stage reads its ``requires``
+            names and writes its ``provides`` names in place.
+
+        Returns
+        -------
+        dict or None
+            Optional counters (name → number) folded into the run's
+            :class:`~repro.core.profile.PipelineProfile`.
+
+        Raises
+        ------
+        NotImplementedError
+            Always, on the base class — subclasses implement the body.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -21,6 +21,12 @@ set:
   routes edge events to an entry's dynamic sparsifier under the
   entry's lock, so concurrent queries never observe a half-applied
   batch and served answers stay σ²-fresh.
+- **Pipeline build profiles.**  Artifacts are built through the shared
+  stage pipeline (:mod:`repro.core`): each registered
+  :class:`~repro.stream.DynamicSparsifier` carries the per-stage
+  timing/counter profile of its build (and subsequent drift repairs),
+  and :meth:`SparsifierRegistry.describe` — the ``/stats`` payload —
+  surfaces it per artifact, snapshotted across LRU spill/reload.
 
 Concurrency model (the HTTP service runs one handler thread per
 connection): the registry lock guards the entry map and residency
@@ -46,6 +52,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.profile import PipelineProfile
 from repro.graphs.graph import Graph
 from repro.serve.engine import QueryEngine
 from repro.sparsify.similarity_aware import SparsifyResult
@@ -149,9 +156,15 @@ class RegistryEntry:
         Persistent reentrant lock serializing queries, event
         application and spilling of this artifact; it survives
         spill/reload cycles (successive engines share it).
+    profile_snapshot:
+        The artifact's accumulated pipeline profile (build + drift
+        repairs) captured at the last spill, re-seeded into the live
+        instance on reload so per-stage timings survive LRU eviction
+        (checkpoints themselves do not persist profiles).
     """
 
-    __slots__ = ("key", "params", "dynamic", "engine", "lock")
+    __slots__ = ("key", "params", "dynamic", "engine", "lock",
+                 "profile_snapshot")
 
     def __init__(self, key: str, params: dict, dynamic: DynamicSparsifier) -> None:
         self.key = key
@@ -159,6 +172,7 @@ class RegistryEntry:
         self.lock = threading.RLock()
         self.dynamic: DynamicSparsifier | None = dynamic
         self.engine: QueryEngine | None = QueryEngine(dynamic, lock=self.lock)
+        self.profile_snapshot: dict | None = None
 
     @property
     def resident(self) -> bool:
@@ -331,6 +345,9 @@ class SparsifierRegistry:
 
     def _spill_locked(self, entry: RegistryEntry) -> None:
         save_dynamic(self.spool_dir / entry.key, entry.dynamic)
+        # Checkpoints carry no profile; snapshot it on the entry so the
+        # per-stage build timings survive the spill/reload cycle.
+        entry.profile_snapshot = entry.dynamic.profile.as_dict()
         entry.dynamic = None
         entry.engine = None
         self.stats.evictions += 1
@@ -362,6 +379,10 @@ class SparsifierRegistry:
                 raise KeyError(f"unknown artifact key {key!r}")
             if not entry.resident:
                 dyn = load_dynamic(self.spool_dir / key)
+                if entry.profile_snapshot is not None:
+                    dyn.profile = PipelineProfile.from_dict(
+                        entry.profile_snapshot
+                    )
                 entry.dynamic = dyn
                 entry.engine = QueryEngine(dyn, lock=entry.lock)
                 self.stats.reloads += 1
@@ -499,10 +520,13 @@ class SparsifierRegistry:
                         num_edges=int(dyn.num_edges),
                         batches_applied=int(dyn.batches_applied),
                         sigma2_estimate=_json_float(dyn.last_estimate),
+                        profile=dyn.profile.as_dict(),
                     )
                 else:
                     npz_path, _ = checkpoint_paths(self.spool_dir / key)
                     info["checkpoint"] = str(npz_path)
+                    if entry.profile_snapshot is not None:
+                        info["profile"] = entry.profile_snapshot
                 artifacts[key] = info
             return {
                 "stats": asdict(self.stats),

@@ -11,7 +11,8 @@ Routes (all bodies and responses are JSON):
 =======  =====================  ==============================================
 Method   Path                   Action
 =======  =====================  ==============================================
-GET      ``/stats``             registry snapshot (keys, residency, counters)
+GET      ``/stats``             registry snapshot (keys, residency, counters
+                                and per-artifact pipeline stage profiles)
 POST     ``/graphs``            register ``{n, u, v, w, sigma2?, seed?, ...}``
 POST     ``/query/resistance``  ``{key, pairs}`` → effective resistances
 POST     ``/query/similarity``  ``{key, pairs}`` → ``w·R_eff`` edge scores

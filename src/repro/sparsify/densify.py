@@ -15,10 +15,14 @@ Starting from the spanning-tree backbone, each densification iteration:
 5. filters edges with the θ_σ threshold (Eq. 15);
 6. adds only *dissimilar* filtered edges to the sparsifier.
 
-The host Laplacian is built once and shared across iterations, and the
-evolving sparsifier (mask, Laplacian, degrees, solver) lives in a
-:class:`SparsifierState` so per-iteration cost scales with the edge
-batch, not the sparsifier size.
+Since the stage-pipeline refactor the loop body itself lives in
+:class:`repro.core.stages.DensifyStage` — the same implementation that
+drives the shard-parallel, streaming-repair and serving-build paths —
+and :func:`densify` is the thin batch configuration: one
+:class:`~repro.core.pipeline.SparsifyPipeline` holding a single
+``DensifyStage``, its diagnostics repackaged as the familiar
+:class:`DensifyResult`.  Masks are bit-identical to the pre-refactor
+loop (pinned by ``tests/core/test_golden_parity.py``).
 """
 
 from __future__ import annotations
@@ -27,35 +31,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.context import PipelineContext
+from repro.core.pipeline import SparsifyPipeline
+from repro.core.profile import PipelineProfile
+from repro.core.stages import DensifyIteration, DensifyStage
 from repro.graphs.graph import Graph
-from repro.sparsify.edge_embedding import joule_heats
-from repro.sparsify.edge_similarity import select_dissimilar
-from repro.sparsify.filtering import filter_edges, heat_threshold
-from repro.sparsify.state import SparsifierState
-from repro.spectral.extreme import generalized_power_iteration
 from repro.utils.rng import as_rng
-from repro.utils.timing import Timer
 
 __all__ = ["DensifyIteration", "DensifyResult", "densify"]
-
-
-@dataclass(frozen=True)
-class DensifyIteration:
-    """Diagnostics of one densification iteration.
-
-    ``sigma2_estimate = lambda_max / lambda_min`` is the estimated
-    relative condition number *before* this iteration's edge additions.
-    """
-
-    iteration: int
-    lambda_max: float
-    lambda_min: float
-    sigma2_estimate: float
-    threshold: float
-    num_candidates: int
-    num_added: int
-    num_edges: int
-    elapsed: float
 
 
 @dataclass
@@ -73,12 +56,16 @@ class DensifyResult:
         Per-iteration diagnostics.
     sigma2_target:
         The requested similarity level.
+    profile:
+        Per-stage timings/counters of the run
+        (:class:`~repro.core.profile.PipelineProfile`).
     """
 
     edge_mask: np.ndarray
     converged: bool
     sigma2_target: float
     iterations: list[DensifyIteration] = field(default_factory=list)
+    profile: PipelineProfile | None = None
 
     @property
     def final_sigma2_estimate(self) -> float:
@@ -161,80 +148,27 @@ def densify(
         If ``sigma2`` does not exceed 1 or ``max_iterations`` is smaller
         than 1.
     """
-    if sigma2 <= 1.0:
-        raise ValueError(f"sigma2 must exceed 1, got {sigma2}")
-    if max_iterations < 1:
-        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
-    rng = as_rng(seed)
-    state = SparsifierState(
-        graph,
-        tree_indices,
-        initial_mask=initial_mask,
+    ctx = PipelineContext(
+        graph=graph,
+        rng=as_rng(seed),
+        sigma2=sigma2,
+        t=t,
+        num_vectors=num_vectors,
+        power_iterations=power_iterations,
+        max_iterations=max_iterations,
+        max_edges_per_iteration=max_edges_per_iteration,
+        similarity_mode=similarity_mode,
         solver_method=solver_method,
         max_update_rank=max_update_rank,
         amg_rebuild_every=amg_rebuild_every,
+        initial_mask=initial_mask,
+        tree_indices=np.asarray(tree_indices, dtype=np.int64),
     )
-    if max_edges_per_iteration is None:
-        max_edges_per_iteration = max(100, int(0.05 * graph.n))
-
-    LG = state.host_laplacian
-    result = DensifyResult(
-        edge_mask=state.edge_mask, converged=False, sigma2_target=float(sigma2)
+    SparsifyPipeline([DensifyStage()]).run(ctx)
+    return DensifyResult(
+        edge_mask=ctx.edge_mask,
+        converged=ctx.converged,
+        sigma2_target=float(sigma2),
+        iterations=ctx.iterations,
+        profile=ctx.profile,
     )
-    for iteration in range(1, max_iterations + 1):
-        with Timer() as timer:
-            solver = state.solver()
-            lam_max = generalized_power_iteration(
-                LG, state.laplacian, solver, iterations=power_iterations, seed=rng
-            )
-            lam_min = state.lambda_min()
-            sigma2_estimate = lam_max / lam_min
-            if sigma2_estimate <= sigma2:
-                result.iterations.append(
-                    DensifyIteration(
-                        iteration=iteration,
-                        lambda_max=lam_max,
-                        lambda_min=lam_min,
-                        sigma2_estimate=sigma2_estimate,
-                        threshold=1.0,
-                        num_candidates=0,
-                        num_added=0,
-                        num_edges=state.num_edges,
-                        elapsed=timer.lap(),
-                    )
-                )
-                result.converged = True
-                break
-            off_tree = np.flatnonzero(~state.edge_mask)
-            heats = joule_heats(
-                graph, solver, off_tree, t=t, num_vectors=num_vectors, seed=rng,
-                LG=LG,
-            )
-            threshold = heat_threshold(sigma2, lam_min, lam_max, t=t)
-            decision = filter_edges(heats, threshold)
-            candidates = off_tree[decision.passing]
-            added = select_dissimilar(
-                graph, candidates, max_edges=max_edges_per_iteration,
-                mode=similarity_mode,
-            )
-            state.add_edges(added)
-        result.iterations.append(
-            DensifyIteration(
-                iteration=iteration,
-                lambda_max=lam_max,
-                lambda_min=lam_min,
-                sigma2_estimate=sigma2_estimate,
-                threshold=decision.threshold,
-                num_candidates=int(candidates.size),
-                num_added=int(added.size),
-                num_edges=state.num_edges,
-                elapsed=timer.elapsed,
-            )
-        )
-        if added.size == 0:
-            # Filter passed nothing although the similarity target is
-            # unmet — the estimates have converged as far as the
-            # embedding can certify.
-            break
-    result.edge_mask = state.edge_mask
-    return result

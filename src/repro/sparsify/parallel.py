@@ -10,11 +10,13 @@ here exploits that:
    bisect components larger than ``shard_max_nodes`` along approximate
    Fiedler sign cuts (:func:`repro.spectral.fiedler.fiedler_vector` +
    :func:`repro.spectral.partition.sign_cut`);
-2. *sparsify* — run the serial similarity-aware kernel
-   (:class:`repro.sparsify.similarity_aware.SimilarityAwareSparsifier`)
-   on every shard, concurrently across a thread or process pool, with
-   per-shard RNGs spawned deterministically from the root seed so the
-   stitched result never depends on the worker count;
+2. *sparsify* — run the serial stage pipeline
+   (:class:`repro.sparsify.similarity_aware.SimilarityAwareSparsifier`,
+   itself a :class:`~repro.core.pipeline.SparsifyPipeline`
+   configuration) on every shard, concurrently across a thread or
+   process pool, with per-shard RNGs spawned deterministically from
+   the root seed (:func:`repro.utils.rng.shard_rngs`) so the stitched
+   result never depends on the worker count;
 3. *stitch* — map each shard's edge mask back to the host graph's
    canonical edges, re-add every cut (shard-crossing) edge, and merge
    the per-shard diagnostics into one
@@ -35,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.profile import PipelineProfile
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.graphs.operations import induced_subgraph
@@ -45,6 +48,7 @@ from repro.sparsify.similarity_aware import (
 )
 from repro.spectral.fiedler import fiedler_vector
 from repro.spectral.partition import sign_cut
+from repro.utils.rng import shard_rngs
 from repro.utils.timing import Timer
 
 __all__ = [
@@ -162,8 +166,9 @@ class ShardedSparsifyResult(SparsifyResult):
     The inherited fields aggregate over shards: ``sigma2_estimate`` is
     the worst (largest) per-shard estimate, ``converged`` requires every
     shard to have converged, ``tree_seconds``/``densify_seconds`` sum
-    the per-shard (CPU) timings and ``iterations`` concatenates the
-    per-shard diagnostics.  ``wall_seconds`` is the end-to-end elapsed
+    the per-shard (CPU) timings, ``iterations`` concatenates the
+    per-shard diagnostics and ``profile`` merges the per-shard
+    pipeline profiles (per-stage CPU totals across all shards).  ``wall_seconds`` is the end-to-end elapsed
     time of the sharded run — with ``workers > 1`` it is smaller than
     ``total_seconds``, and their ratio is the parallel speedup.
 
@@ -207,35 +212,6 @@ class ShardedSparsifyResult(SparsifyResult):
             f"wall {self.wall_seconds:.2f}s x{self.workers} "
             f"{self.backend}]"
         )
-
-
-def shard_rngs(
-    seed: int | np.random.Generator | None, count: int
-) -> list[np.random.Generator]:
-    """Spawn the deterministic per-shard generators used by the pipeline.
-
-    Shard ``i`` of a plan is always sparsified with ``shard_rngs(seed,
-    count)[i]``, independent of worker count and backend — this is what
-    makes the stitched mask a pure function of ``(graph, options,
-    seed)``.  Exposed so callers can reproduce a single shard's serial
-    run (the parity tests do exactly that).
-
-    Parameters
-    ----------
-    seed:
-        Root seed: ``None``, an integer, or a generator to spawn from.
-    count:
-        Number of child generators (one per shard).
-
-    Returns
-    -------
-    list[numpy.random.Generator]
-        ``count`` statistically independent child generators.
-    """
-    if isinstance(seed, np.random.Generator):
-        return seed.spawn(count)
-    children = np.random.SeedSequence(seed).spawn(count)
-    return [np.random.default_rng(child) for child in children]
 
 
 def _split_oversized(
@@ -617,6 +593,7 @@ class ShardedSparsifier:
         densify_seconds = 0.0
         sigma2_estimate = -np.inf
         converged = True
+        profile = PipelineProfile()
         for shard, (local, seconds) in zip(active, outcomes):
             host_edges = graph.edge_indices(
                 shard.vertices[local.graph.u], shard.vertices[local.graph.v]
@@ -628,6 +605,8 @@ class ShardedSparsifier:
             iterations.extend(local.iterations)
             tree_seconds += local.tree_seconds
             densify_seconds += local.densify_seconds
+            if local.profile is not None:
+                profile.merge(local.profile)
             sigma2_estimate = max(sigma2_estimate, local.sigma2_estimate)
             converged = converged and local.converged
             stats[shard.index] = ShardStats(
@@ -681,6 +660,7 @@ class ShardedSparsifier:
             iterations=iterations,
             tree_seconds=tree_seconds,
             densify_seconds=densify_seconds,
+            profile=profile,
             shards=[stats[i] for i in range(len(plan.shards))],
             num_components=plan.num_components,
             cut_edge_indices=plan.cut_edge_indices,

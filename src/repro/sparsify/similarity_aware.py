@@ -17,10 +17,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.context import PipelineContext
+from repro.core.pipeline import SparsifyPipeline
+from repro.core.profile import PipelineProfile
+from repro.core.stages import DensifyStage, RescaleStage, TreeStage
 from repro.graphs.graph import Graph
 from repro.graphs.components import is_connected
-from repro.sparsify.densify import DensifyIteration, DensifyResult, densify
-from repro.trees.lsst import low_stretch_tree
+from repro.sparsify.densify import DensifyIteration, densify
+from repro.sparsify.rescaling import RescaleResult
 from repro.utils.rng import as_rng
 from repro.utils.timing import Timer
 
@@ -50,6 +54,13 @@ class SparsifyResult:
         Densification diagnostics (one entry per iteration).
     tree_seconds / densify_seconds / total_seconds:
         Wall-clock timings (the paper's ``T_σ²`` and ``T_tot`` columns).
+    profile:
+        Per-stage timings/counters of the pipeline run
+        (:class:`~repro.core.profile.PipelineProfile`; the CLI's
+        ``--profile`` table).
+    rescale:
+        Optional :class:`~repro.sparsify.rescaling.RescaleResult` when
+        the run mounted a terminal rescaling stage.
     """
 
     graph: Graph
@@ -62,6 +73,8 @@ class SparsifyResult:
     iterations: list[DensifyIteration] = field(default_factory=list)
     tree_seconds: float = 0.0
     densify_seconds: float = 0.0
+    profile: PipelineProfile | None = None
+    rescale: RescaleResult | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -148,6 +161,13 @@ class SimilarityAwareSparsifier:
         AMG hierarchy absorbs in place (fine-level value patches, coarse
         grids kept) before it is re-coarsened from the current
         sparsifier Laplacian.
+    rescale:
+        Optional terminal re-scaling stage: ``None`` (default, keep
+        original weights as the paper does), ``"similarity"`` (global
+        ``√(λmax λmin)`` rescaling) or ``"off_tree"`` (κ-minimizing
+        off-tree factor search).  The re-scaled graph is reported on
+        ``result.rescale``; the mask and ``result.sparsifier`` keep
+        original weights either way.
     seed:
         Randomness for trees, estimators and embeddings.
 
@@ -174,10 +194,16 @@ class SimilarityAwareSparsifier:
         solver_method: str = "auto",
         max_update_rank: int = 64,
         amg_rebuild_every: int = 8,
+        rescale: str | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if sigma2 <= 1.0:
             raise ValueError(f"sigma2 must exceed 1, got {sigma2}")
+        if rescale not in (None, "similarity", "off_tree"):
+            raise ValueError(
+                f"unknown rescale scheme {rescale!r}; expected None, "
+                "'similarity' or 'off_tree'"
+            )
         self.sigma2 = float(sigma2)
         self.tree_method = tree_method
         self.t = t
@@ -189,7 +215,57 @@ class SimilarityAwareSparsifier:
         self.solver_method = solver_method
         self.max_update_rank = max_update_rank
         self.amg_rebuild_every = amg_rebuild_every
+        self.rescale = rescale
         self.seed = seed
+
+    def pipeline(self) -> SparsifyPipeline:
+        """The stage composition this configuration runs.
+
+        ``[TreeStage, DensifyStage]`` plus a terminal
+        :class:`~repro.core.stages.RescaleStage` when ``rescale`` is
+        set — the same composition every subsystem mounts (the shard
+        workers run it per shard; the streaming/serving layers run the
+        densify stage against their live state).
+
+        Returns
+        -------
+        SparsifyPipeline
+            A freshly composed pipeline (stages are stateless; a new
+            composition per run keeps hooks independent).
+        """
+        stages = [TreeStage(), DensifyStage()]
+        if self.rescale is not None:
+            stages.append(RescaleStage(self.rescale))
+        return SparsifyPipeline(stages)
+
+    def context(self, graph: Graph) -> PipelineContext:
+        """A fresh pipeline context carrying this configuration's knobs.
+
+        Parameters
+        ----------
+        graph:
+            The host graph the context is for.
+
+        Returns
+        -------
+        PipelineContext
+            Context seeded from this instance's ``seed`` and knobs.
+        """
+        return PipelineContext(
+            graph=graph,
+            rng=as_rng(self.seed),
+            sigma2=self.sigma2,
+            tree_method=self.tree_method,
+            t=self.t,
+            num_vectors=self.num_vectors,
+            power_iterations=self.power_iterations,
+            max_iterations=self.max_iterations,
+            max_edges_per_iteration=self.max_edges_per_iteration,
+            similarity_mode=self.similarity_mode,
+            solver_method=self.solver_method,
+            max_update_rank=self.max_update_rank,
+            amg_rebuild_every=self.amg_rebuild_every,
+        )
 
     def sparsify(self, graph: Graph, check_connected: bool = True) -> SparsifyResult:
         """Compute a σ-similar spectral sparsifier of ``graph``.
@@ -225,37 +301,21 @@ class SimilarityAwareSparsifier:
                 "graph must be connected; extract the largest component first "
                 "(repro.graphs.largest_component)"
             )
-        rng = as_rng(self.seed)
-        with Timer() as tree_timer:
-            tree_indices = low_stretch_tree(graph, method=self.tree_method, seed=rng)
-        with Timer() as densify_timer:
-            dens: DensifyResult = densify(
-                graph,
-                tree_indices,
-                sigma2=self.sigma2,
-                t=self.t,
-                num_vectors=self.num_vectors,
-                power_iterations=self.power_iterations,
-                max_iterations=self.max_iterations,
-                max_edges_per_iteration=self.max_edges_per_iteration,
-                similarity_mode=self.similarity_mode,
-                solver_method=self.solver_method,
-                max_update_rank=self.max_update_rank,
-                amg_rebuild_every=self.amg_rebuild_every,
-                seed=rng,
-            )
-        sparsifier = graph.edge_subgraph(dens.edge_mask)
+        ctx = self.pipeline().run(self.context(graph))
+        sparsifier = graph.edge_subgraph(ctx.edge_mask)
         return SparsifyResult(
             graph=graph,
             sparsifier=sparsifier,
-            edge_mask=dens.edge_mask,
-            tree_indices=tree_indices,
+            edge_mask=ctx.edge_mask,
+            tree_indices=ctx.tree_indices,
             sigma2_target=self.sigma2,
-            sigma2_estimate=dens.final_sigma2_estimate,
-            converged=dens.converged,
-            iterations=dens.iterations,
-            tree_seconds=tree_timer.elapsed,
-            densify_seconds=densify_timer.elapsed,
+            sigma2_estimate=ctx.sigma2_estimate,
+            converged=ctx.converged,
+            iterations=ctx.iterations,
+            tree_seconds=ctx.profile.seconds("tree"),
+            densify_seconds=ctx.profile.seconds("densify"),
+            profile=ctx.profile,
+            rescale=ctx.rescale,
         )
 
 
@@ -312,6 +372,10 @@ def refine_sparsifier(
             **densify_options,
         )
     sparsifier = result.graph.edge_subgraph(dens.edge_mask)
+    profile = PipelineProfile()
+    if result.profile is not None:
+        profile.merge(result.profile)
+    profile.merge(dens.profile)
     return SparsifyResult(
         graph=result.graph,
         sparsifier=sparsifier,
@@ -323,6 +387,7 @@ def refine_sparsifier(
         iterations=list(result.iterations) + dens.iterations,
         tree_seconds=result.tree_seconds,
         densify_seconds=result.densify_seconds + densify_timer.elapsed,
+        profile=profile,
     )
 
 

@@ -37,6 +37,7 @@ from repro.graphs.graph import Graph
 from repro.sparsify.densify import DensifyIteration
 from repro.sparsify.similarity_aware import SparsifyResult
 from repro.stream.dynamic import DynamicSparsifier
+from repro.utils.rng import restore_rng, rng_state
 
 __all__ = [
     "save_dynamic",
@@ -71,24 +72,6 @@ def checkpoint_paths(path: str | Path) -> tuple[Path, Path]:
     if path.suffix in (".npz", ".json"):
         path = path.with_suffix("")
     return Path(f"{path}.npz"), Path(f"{path}.json")
-
-
-def _rng_state(rng: np.random.Generator) -> dict:
-    state = rng.bit_generator.state
-    try:
-        json.dumps(state)
-    except TypeError as exc:  # pragma: no cover - non-default generators
-        raise ValueError(
-            "stream RNG state is not JSON-serializable; use the default "
-            "PCG64 generator family for checkpointable streams"
-        ) from exc
-    return state
-
-
-def _restore_rng(state: dict) -> np.random.Generator:
-    bit_generator = getattr(np.random, state["bit_generator"])()
-    bit_generator.state = state
-    return np.random.Generator(bit_generator)
 
 
 def save_dynamic(path: str | Path, dyn: DynamicSparsifier) -> tuple[Path, Path]:
@@ -143,7 +126,7 @@ def save_dynamic(path: str | Path, dyn: DynamicSparsifier) -> tuple[Path, Path]:
             "batches_since_check": dyn._batches_since_check,
         },
         "last_estimate": dyn.last_estimate,
-        "rng_state": _rng_state(dyn._rng),
+        "rng_state": rng_state(dyn._rng),
     }
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(meta, handle, indent=2)
@@ -201,7 +184,7 @@ def load_dynamic(path: str | Path) -> DynamicSparsifier:
     dyn.edge_mask = edge_mask
     dyn.tree_indices = tree_indices
     dyn._deg_p = deg_p
-    dyn._rng = _restore_rng(meta["rng_state"])
+    dyn._rng = restore_rng(meta["rng_state"])
     counters = meta["counters"]
     dyn.batches_applied = counters["batches_applied"]
     dyn.events_applied = counters["events_applied"]

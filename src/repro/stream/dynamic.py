@@ -29,7 +29,11 @@ Each event batch runs through a **three-tier repair policy**:
    ``λmax/λmin`` (power iteration + node-coloring, paper §3.6) is
    compared against ``drift_tolerance · σ²``; only when quality has
    drifted past the tolerance does the §3.7 densification loop resume
-   from the current mask to pull in fresh off-tree edges.
+   from the current mask to pull in fresh off-tree edges.  The loop is
+   the shared stage pipeline (:class:`repro.core.stages.DensifyStage`
+   in its ``"drift"`` cadence) run against this instance's live state
+   and carried incremental solver through :class:`_DynamicStateView` —
+   the same stage bodies the batch/shard/serving paths execute.
 
 The vertex set is fixed for the lifetime of the instance; events
 reference existing vertices only.  Determinism: all randomness flows
@@ -47,15 +51,15 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.context import PipelineContext
+from repro.core.pipeline import SparsifyPipeline
+from repro.core.profile import PipelineProfile
+from repro.core.stages import DensifyStage, TreeStage
 from repro.graphs.graph import Graph
 from repro.graphs.components import is_connected
 from repro.solvers.amg import AMGSolver
 from repro.solvers.base import Solver
 from repro.solvers.cholesky import DirectSolver
-from repro.sparsify.densify import densify
-from repro.sparsify.edge_embedding import joule_heats
-from repro.sparsify.edge_similarity import select_dissimilar
-from repro.sparsify.filtering import filter_edges, heat_threshold
 from repro.sparsify.metrics import SimilarityEstimate
 from repro.spectral.extreme import generalized_power_iteration
 from repro.stream.events import (
@@ -73,6 +77,66 @@ from repro.utils.timing import Timer
 __all__ = ["BatchReport", "DynamicSparsifier"]
 
 _SOLVER_METHODS = ("auto", "cholesky", "amg")
+
+# Densify knobs a DynamicSparsifier forwards into its pipeline contexts
+# (the subset of PipelineContext fields that are per-run algorithm
+# parameters rather than managed state).
+_DENSIFY_OPTION_KEYS = (
+    "t",
+    "num_vectors",
+    "max_iterations",
+    "max_edges_per_iteration",
+    "similarity_mode",
+)
+
+
+class _DynamicStateView:
+    """Adapter mounting a live :class:`DynamicSparsifier` as pipeline state.
+
+    Exposes the :class:`~repro.sparsify.state.SparsifierState` surface
+    the core stages consume — mask, pencil Laplacians, the *carried*
+    incremental solver, cached-degree λmin and in-place edge addition —
+    so the tier-3 drift repair runs the shared filter loop without
+    rebuilding a fresh state + factorization per trigger.
+    """
+
+    def __init__(self, dyn: "DynamicSparsifier") -> None:
+        self._dyn = dyn
+        # Hoist the host Laplacian once per repair run (the loop's LG).
+        self.host_laplacian = dyn.graph.laplacian()
+
+    @property
+    def edge_mask(self) -> np.ndarray:
+        return self._dyn.edge_mask
+
+    @property
+    def laplacian(self):
+        return self._dyn.sparsifier().laplacian()
+
+    @property
+    def num_edges(self) -> int:
+        return self._dyn.num_edges
+
+    def subgraph(self) -> Graph:
+        return self._dyn.sparsifier()
+
+    def solver(self) -> Solver:
+        return self._dyn._ensure_solver()
+
+    def lambda_min(self) -> float:
+        return self._dyn._lambda_min()
+
+    def add_edges(self, edge_indices: np.ndarray) -> None:
+        if edge_indices.size == 0:
+            return
+        dyn = self._dyn
+        g = dyn.graph
+        dyn.edge_mask[edge_indices] = True
+        au, av, aw = g.u[edge_indices], g.v[edge_indices], g.w[edge_indices]
+        np.add.at(dyn._deg_p, au, aw)
+        np.add.at(dyn._deg_p, av, aw)
+        if dyn._solver is not None and not dyn._solver.update(au, av, aw):
+            dyn._solver = None
 
 
 @dataclass(frozen=True)
@@ -234,8 +298,15 @@ class DynamicSparsifier:
         self.amg_rebuild_every = int(amg_rebuild_every)
         self.power_iterations = int(power_iterations)
         self._densify_options = dict(densify_options or {})
+        unknown = set(self._densify_options) - set(_DENSIFY_OPTION_KEYS)
+        if unknown:
+            raise TypeError(
+                f"unexpected densify option(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(_DENSIFY_OPTION_KEYS)}"
+            )
         self._rng = as_rng(seed)
         self._solver: Solver | None = None
+        self.profile = PipelineProfile()
 
         self.batches_applied = 0
         self.events_applied = 0
@@ -260,13 +331,13 @@ class DynamicSparsifier:
                 "with repro.sparsify.parallel before streaming)"
             )
         self.graph = graph
-        self.tree_indices = low_stretch_tree(
-            graph, method=tree_method, seed=self._rng
-        )
-        dens = self._densify(graph, self.tree_indices, initial_mask=None)
-        self.edge_mask = dens.edge_mask
-        self.last_estimate = dens.final_sigma2_estimate
+        ctx = self._pipeline_context()
+        SparsifyPipeline([TreeStage(), DensifyStage()]).run(ctx)
+        self.tree_indices = ctx.tree_indices
+        self.edge_mask = ctx.edge_mask
+        self.last_estimate = ctx.sigma2_estimate
         self._deg_p = self._compute_degrees()
+        self.profile.merge(ctx.profile)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -304,19 +375,33 @@ class DynamicSparsifier:
         dyn.tree_indices = np.asarray(result.tree_indices, dtype=np.int64).copy()
         dyn.last_estimate = float(result.sigma2_estimate)
         dyn._deg_p = dyn._compute_degrees()
+        if getattr(result, "profile", None) is not None:
+            # Adopt the batch run's per-stage build profile so serving
+            # stats show how the artifact was produced.
+            dyn.profile.merge(result.profile)
         return dyn
 
-    def _densify(self, graph: Graph, tree_indices: np.ndarray, initial_mask):
-        return densify(
-            graph,
-            tree_indices,
+    def _pipeline_context(self, state=None) -> PipelineContext:
+        """A pipeline context over this instance's graph, RNG and knobs.
+
+        With ``state=None`` (initial build) the densify stage
+        constructs a fresh :class:`~repro.sparsify.state.SparsifierState`;
+        with a mounted :class:`_DynamicStateView` (drift repair) the
+        stages run against the live incremental state instead.
+        """
+        return PipelineContext(
+            graph=self.graph,
+            rng=self._rng,
             sigma2=self.sigma2,
-            initial_mask=initial_mask,
+            tree_method=self.tree_method,
             solver_method=self.solver_method,
             max_update_rank=self.max_update_rank,
             amg_rebuild_every=self.amg_rebuild_every,
             power_iterations=self.power_iterations,
-            seed=self._rng,
+            tree_indices=(
+                self.tree_indices if state is not None else None
+            ),
+            state=state,
             **self._densify_options,
         )
 
@@ -689,12 +774,15 @@ class DynamicSparsifier:
     def _redensify(self, lam_max: float) -> tuple[float, int]:
         """Tier-3 targeted re-densification against the carried solver.
 
-        The §3.7 loop — estimate, θ_σ filter, dissimilarity check —
-        run natively on the dynamic state: edge batches are absorbed
-        through the managed solver's Woodbury/patch hook instead of
-        rebuilding a fresh :class:`SparsifierState` + factorization per
-        trigger, so a drift repair costs a few solves, not a
-        from-scratch densification.
+        The §3.7 loop — θ_σ filter, dissimilarity check, estimate —
+        runs as the shared stage pipeline
+        (:class:`~repro.core.stages.DensifyStage` in its ``"drift"``
+        cadence) mounted on this instance's live state: edge batches
+        are absorbed through the managed solver's Woodbury/patch hook
+        instead of rebuilding a fresh :class:`SparsifierState` +
+        factorization per trigger, so a drift repair costs a few
+        solves, not a from-scratch densification.  Per-stage timings
+        accumulate into :attr:`profile`.
 
         Parameters
         ----------
@@ -707,55 +795,12 @@ class DynamicSparsifier:
         tuple
             ``(final sigma2 estimate, off-tree edges added)``.
         """
-        opts = self._densify_options
-        t = opts.get("t", 2)
-        num_vectors = opts.get("num_vectors")
-        similarity_mode = opts.get("similarity_mode", "endpoint")
-        max_iterations = opts.get("max_iterations", 50)
-        cap = opts.get("max_edges_per_iteration")
-        if cap is None:
-            cap = max(100, int(0.05 * self.graph.n))
-        g = self.graph
-        LG = g.laplacian()
-        added_total = 0
-        estimate = lam_max / self._lambda_min()
-        for _ in range(max_iterations):
-            if estimate <= self.sigma2:
-                break
-            solver = self._ensure_solver()
-            off_tree = np.flatnonzero(~self.edge_mask)
-            if off_tree.size == 0:
-                break
-            heats = joule_heats(
-                g, solver, off_tree, t=t, num_vectors=num_vectors,
-                seed=self._rng, LG=LG,
-            )
-            lam_min = self._lambda_min()
-            threshold = heat_threshold(self.sigma2, lam_min, lam_max, t=t)
-            decision = filter_edges(heats, threshold)
-            added = select_dissimilar(
-                g, off_tree[decision.passing], max_edges=cap,
-                mode=similarity_mode,
-            )
-            if added.size == 0:
-                break  # filter is dry; estimates are as certified as
-                # the embedding allows (same stop rule as densify()).
-            self.edge_mask[added] = True
-            au, av, aw = g.u[added], g.v[added], g.w[added]
-            np.add.at(self._deg_p, au, aw)
-            np.add.at(self._deg_p, av, aw)
-            if self._solver is not None and not self._solver.update(au, av, aw):
-                self._solver = None
-            added_total += int(added.size)
-            lam_max = generalized_power_iteration(
-                LG,
-                self.sparsifier().laplacian(),
-                self._ensure_solver(),
-                iterations=self.power_iterations,
-                seed=self._rng,
-            )
-            estimate = lam_max / self._lambda_min()
-        return estimate, added_total
+        ctx = self._pipeline_context(state=_DynamicStateView(self))
+        ctx.lambda_max = float(lam_max)
+        SparsifyPipeline([DensifyStage(mode="drift")]).run(ctx)
+        self.profile.merge(ctx.profile)
+        report = ctx.profile.reports["densify"]
+        return ctx.sigma2_estimate, int(report.counters.get("added", 0))
 
     def apply_log(
         self, events: Iterable[EdgeEvent], batch_size: int = 100

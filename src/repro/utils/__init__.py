@@ -6,7 +6,14 @@ algorithm that consumes randomness takes either an integer seed or a
 and every experiment measures wall time through :class:`Timer`.
 """
 
-from repro.utils.rng import as_rng, random_unit_vectors, spawn_rngs
+from repro.utils.rng import (
+    as_rng,
+    random_unit_vectors,
+    restore_rng,
+    rng_state,
+    shard_rngs,
+    spawn_rngs,
+)
 from repro.utils.timing import Timer, timed
 from repro.utils.validation import (
     check_positive,
@@ -21,6 +28,9 @@ from repro.utils.memory import sparse_nbytes, factor_nbytes
 __all__ = [
     "as_rng",
     "spawn_rngs",
+    "shard_rngs",
+    "rng_state",
+    "restore_rng",
     "random_unit_vectors",
     "Timer",
     "timed",

@@ -212,3 +212,33 @@ class TestEventsAndIntrospection:
     def test_max_resident_validation(self, tmp_path):
         with pytest.raises(ValueError, match="max_resident"):
             SparsifierRegistry(tmp_path, max_resident=0)
+
+    def test_describe_exposes_build_profile(self, registry, grids):
+        import json
+
+        key = registry.register(grids[0], sigma2=SIGMA2, seed=0)
+        profile = registry.describe()["artifacts"][key]["profile"]
+        json.dumps(profile)  # must not raise
+        assert profile["tree"]["calls"] == 1
+        assert profile["densify"]["calls"] == 1
+        assert profile["densify"]["seconds"] >= 0.0
+        assert "densify.embedding" in profile
+
+    def test_build_profile_survives_spill_and_reload(self, registry, grids):
+        k1 = registry.register(grids[0], sigma2=SIGMA2, seed=0)
+        before = registry.describe()["artifacts"][k1]["profile"]
+        registry.register(grids[1], sigma2=SIGMA2, seed=0)
+        registry.register(grids[2], sigma2=SIGMA2, seed=0)  # evicts k1
+        spilled = registry.describe()["artifacts"][k1]
+        assert spilled["resident"] is False
+        assert spilled["profile"] == before
+        registry.get(k1)  # reload re-seeds the live profile
+        assert registry.describe()["artifacts"][k1]["profile"] == before
+
+    def test_register_result_adopts_batch_profile(self, registry, grids):
+        result = sparsify_graph(grids[0], sigma2=SIGMA2, seed=0)
+        key = registry.register_result(result, seed=0)
+        profile = registry.describe()["artifacts"][key]["profile"]
+        assert profile["tree"]["calls"] == 1
+        assert profile["densify"]["counters"] == \
+            result.profile.as_dict()["densify"]["counters"]

@@ -44,6 +44,22 @@ class TestSparsifyCommand:
         sparsifier = load_graph_matrix_market(out)
         assert np.all(graph.has_edges(sparsifier.u, sparsifier.v))
 
+    def test_profile_flag_prints_stage_table(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "sparse.mtx"
+        code = main(["sparsify", str(path), "-o", str(out), "--profile"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        for name in ("stage", "tree", "densify", "embedding", "filter",
+                     "similarity", "total"):
+            assert name in printed
+
+    def test_no_profile_without_flag(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "sparse.mtx"
+        assert main(["sparsify", str(path), "-o", str(out)]) == 0
+        assert "embedding" not in capsys.readouterr().out
+
 
 class TestSparsifyDisconnected:
     @pytest.fixture
@@ -81,6 +97,15 @@ class TestSparsifyDisconnected:
         a = load_graph_matrix_market(serial)
         b = load_graph_matrix_market(parallel)
         assert a == b  # worker count must not change the sparsifier
+
+    def test_profile_flag_on_sharded_run(self, disconnected_file, tmp_path,
+                                         capsys):
+        path, _ = disconnected_file
+        out = tmp_path / "sparse.mtx"
+        code = main(["sparsify", str(path), "-o", str(out), "--profile"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "tree" in printed and "densify" in printed
 
     def test_shard_max_nodes_flag(self, graph_file, tmp_path, capsys):
         path, _ = graph_file

@@ -1,9 +1,9 @@
-"""Docstring checks: ``sparsify``, ``solvers``, ``stream``, ``serve``.
+"""Docstring checks: ``sparsify``, ``solvers``, ``stream``, ``serve``, ``core``.
 
 A lightweight, dependency-free stand-in for ``pydocstyle`` plus numpydoc
 section enforcement.  For every public function — module-level functions
-and public methods of public classes — in ``repro.sparsify`` and
-``repro.solvers`` the checks require:
+and public methods of public classes — in the audited packages the
+checks require:
 
 - a docstring whose summary line ends in ``.``, ``?``, ``!`` or ``:``
   (pydocstyle D415);
@@ -27,12 +27,14 @@ import textwrap
 
 import pytest
 
+import repro.core
 import repro.serve
 import repro.solvers
 import repro.sparsify
 import repro.stream
 
-PACKAGES = (repro.sparsify, repro.solvers, repro.stream, repro.serve)
+PACKAGES = (repro.sparsify, repro.solvers, repro.stream, repro.serve,
+            repro.core)
 
 _SECTION_UNDERLINE = "---"
 
@@ -111,6 +113,8 @@ def test_audit_is_not_vacuous():
     assert any("cholesky.DirectSolver.update" in n for n in names)
     assert any("engine.QueryEngine.resistance" in n for n in names)
     assert any("registry.SparsifierRegistry.register" in n for n in names)
+    assert any("pipeline.SparsifyPipeline.run" in n for n in names)
+    assert any("stages.DensifyStage.run" in n for n in names)
 
 
 @pytest.mark.parametrize("qualified,func", CASES, ids=[n for n, _ in CASES])

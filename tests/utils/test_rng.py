@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.utils import as_rng, random_unit_vectors, spawn_rngs
+from repro.utils import (
+    as_rng,
+    random_unit_vectors,
+    restore_rng,
+    rng_state,
+    shard_rngs,
+    spawn_rngs,
+)
 
 
 class TestAsRng:
@@ -32,6 +39,46 @@ class TestSpawn:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):
             spawn_rngs(0, -1)
+
+
+class TestShardRngs:
+    """The canonical child-RNG derivation shared by parallel/stream/core."""
+
+    def test_matches_seedsequence_children(self):
+        # The historical parallel.shard_rngs contract: shard i draws
+        # from the i-th SeedSequence child of the root seed.
+        expected = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(7).spawn(3)
+        ]
+        got = shard_rngs(7, 3)
+        for a, b in zip(expected, got):
+            assert np.array_equal(a.standard_normal(16), b.standard_normal(16))
+
+    def test_generator_root_spawns_in_place(self):
+        root_a, root_b = np.random.default_rng(5), np.random.default_rng(5)
+        a = shard_rngs(root_a, 2)
+        b = root_b.spawn(2)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.standard_normal(8), y.standard_normal(8))
+
+    def test_parallel_reexport_is_the_same_function(self):
+        from repro.sparsify import parallel
+
+        assert parallel.shard_rngs is shard_rngs
+
+
+class TestStateRoundTrip:
+    def test_rng_state_restores_exact_stream(self):
+        rng = as_rng(3)
+        rng.standard_normal(5)  # advance mid-stream
+        clone = restore_rng(rng_state(rng))
+        assert np.array_equal(rng.standard_normal(9), clone.standard_normal(9))
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        json.dumps(rng_state(as_rng(0)))  # must not raise
 
 
 class TestRandomUnitVectors:
