@@ -91,7 +91,7 @@ def _compare(graph, seed=0, solver_method="auto"):
 
 
 @pytest.mark.parametrize("side", [60, 120, 200])
-def test_incremental_identical_and_faster_per_iteration(side, smoke):
+def test_incremental_identical_and_faster_per_iteration(side, smoke, record):
     """Acceptance: identical edge mask; lower mean per-iteration time
     after the first densification iteration (grid2d(200, 200) is the
     headline size)."""
@@ -108,6 +108,9 @@ def test_incremental_identical_and_faster_per_iteration(side, smoke):
         f"({old_mean / max(new_mean, 1e-12):.2f}x); "
         f"totals {sum(old_times):.3f}s vs {sum(new_times):.3f}s"
     )
+    record(f"densify_scaling_{side}", rebuild_iter_s=old_mean,
+           incremental_iter_s=new_mean,
+           speedup=old_mean / max(new_mean, 1e-12))
     if not smoke:
         assert new_mean < old_mean
 

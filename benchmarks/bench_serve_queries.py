@@ -42,7 +42,7 @@ def _query_pairs(n, count, rng):
     return pairs
 
 
-def test_batched_engine_beats_per_query_solves(scale, smoke):
+def test_batched_engine_beats_per_query_solves(scale, smoke, record):
     """Acceptance: the warm batched engine answers k resistance queries
     ≥ 5x faster than naive per-query serving, with identical answers."""
     side = 36 if smoke else max(100, int(200 * scale))
@@ -92,6 +92,8 @@ def test_batched_engine_beats_per_query_solves(scale, smoke):
         f"vs batched engine {t_batched:.3f}s ({speedup:.1f}x over naive, "
         f"{queries / max(t_batched, 1e-12):,.0f} q/s batched)"
     )
+    record("serve_queries", naive_s=t_naive, warm_s=t_warm,
+           batched_s=t_batched, speedup=speedup)
     if not smoke:
         assert speedup >= 5.0
 

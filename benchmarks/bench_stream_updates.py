@@ -38,7 +38,7 @@ def _split_batches(events, num_batches):
     return [events[i : i + size] for i in range(0, len(events), size)]
 
 
-def test_replay_beats_recompute(scale, smoke):
+def test_replay_beats_recompute(scale, smoke, record):
     """Acceptance: replaying 1% churn is ≥ 5x cheaper than recomputing
     from scratch at every batch, with the same σ² certificate."""
     side = 36 if smoke else max(100, int(200 * scale))
@@ -81,6 +81,8 @@ def test_replay_beats_recompute(scale, smoke):
         f"({speedup:.1f}x); redensifications "
         f"{dyn.redensify_count}, backbone repairs {dyn.tree_repair_count}"
     )
+    record("stream_updates", replay_s=t_replay, recompute_s=t_recompute,
+           speedup=speedup)
     if not smoke:
         assert speedup >= 5.0
 

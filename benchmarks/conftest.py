@@ -12,11 +12,19 @@ every push, so they cannot silently rot, without paying for (or
 flaking on) real measurements.  The option is registered here, so the
 benchmark files must be passed explicitly on the command line (they
 always are — ``bench_*.py`` is not collected by the default run).
+
+``--record`` persists benchmark trajectories: each run's headline
+timings/ratios are appended to ``benchmarks/BENCH_<name>.json`` (a
+JSON list, one record per run) via the ``record`` fixture, so speedup
+trends survive across sessions instead of scrolling away in logs.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -36,6 +44,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=False,
         help="benchmark smoke mode: tiny sizes, parity asserts only",
     )
+    parser.addoption(
+        "--record",
+        action="store_true",
+        default=False,
+        help="append each run's timings/ratios to BENCH_<name>.json",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -46,3 +60,46 @@ def smoke(request: pytest.FixtureRequest) -> bool:
 @pytest.fixture(scope="session")
 def scale() -> float:
     return bench_scale()
+
+
+def record_metrics(name: str, metrics: dict, directory: Path | None = None,
+                   *, smoke_run: bool = False) -> Path:
+    """Append one benchmark record to ``BENCH_<name>.json``.
+
+    The file holds a JSON list; each run appends one record with a
+    UTC timestamp, the active ``REPRO_SCALE`` and the metric mapping.
+    """
+    directory = directory or Path(__file__).parent
+    path = directory / f"BENCH_{name}.json"
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append({
+        "recorded_at": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "scale": bench_scale(),
+        "smoke": smoke_run,
+        "metrics": metrics,
+    })
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def record(request: pytest.FixtureRequest):
+    """Session recorder: ``record(name, **metrics)``; no-op sans --record."""
+    enabled = bool(request.config.getoption("--record"))
+    smoke_run = bool(request.config.getoption("--smoke"))
+
+    def _record(name: str, **metrics: float):
+        if not enabled:
+            return None
+        return record_metrics(name, metrics, smoke_run=smoke_run)
+
+    return _record

@@ -1,0 +1,54 @@
+"""Project-specific static analysis: the ``repro lint`` subsystem.
+
+An AST-level checker for the invariants the reproduction's test suite
+can only probe at runtime: determinism of the filter loop (R1xx),
+``Stage.requires``/``provides`` contract fidelity (R2xx), lock
+discipline in the serving tier (R3xx) and public-API hygiene (R4xx).
+See ``docs/LINTING.md`` for the rule catalogue and suppression syntax.
+
+Typical use::
+
+    from repro.analysis import lint_paths
+
+    result = lint_paths(["src"])
+    for finding in result.findings:
+        print(finding.format())
+"""
+
+from repro.analysis.finding import Finding
+from repro.analysis.framework import (
+    CONTEXT_FLOWING,
+    CONTEXT_KNOBS,
+    LintConfig,
+    LintResult,
+    LintRun,
+    ParsedModule,
+    RULES,
+    Rule,
+    lint_files,
+    lint_paths,
+    register,
+)
+from repro.analysis.reporters import (
+    findings_from_json,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "CONTEXT_FLOWING",
+    "CONTEXT_KNOBS",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "LintRun",
+    "ParsedModule",
+    "RULES",
+    "Rule",
+    "findings_from_json",
+    "lint_files",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

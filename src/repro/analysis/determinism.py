@@ -1,0 +1,245 @@
+"""R1 determinism rules: global RNG state and hash-ordered iteration.
+
+The golden-parity suite pins sparsifier masks, trees and RNG states
+bit-identical across refactors — which only holds while every draw of
+randomness flows through one seeded :class:`numpy.random.Generator`
+(``utils/rng.py``) and no result-shaping loop iterates in hash order.
+These rules make both invariants machine-checked:
+
+- **R101** forbids global-state RNG anywhere outside the designated
+  RNG module: ``np.random.seed/rand/...`` (the legacy global stream),
+  bare stdlib ``random.*`` calls, and ``default_rng()`` with no seed
+  argument (fresh OS entropy — unreproducible by construction).
+- **R102** flags ``for``-loops and comprehensions that iterate over a
+  set in order-sensitive packages (sparsify/trees/core/stream): set
+  iteration order depends on hash seeding, so any mask or tree built
+  from it can differ run to run.  Dicts preserve insertion order in
+  Python ≥ 3.7 and are therefore allowed; ``sorted(...)`` over a set
+  is the canonical fix and naturally passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.framework import (
+    LintRun,
+    ParsedModule,
+    Rule,
+    dotted_name,
+    register,
+)
+
+__all__ = ["GlobalRngRule", "SetIterationRule"]
+
+#: numpy.random attributes that are *not* global-state draws:
+#: generator/bit-generator constructors and seed plumbing types.
+_NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+#: stdlib random attributes that build *local* state rather than
+#: drawing from the module-global stream.
+_STD_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+
+def _import_bindings(tree: ast.Module) -> tuple[set, set, set, dict, dict]:
+    """Resolve local names bound to numpy / numpy.random / stdlib random."""
+    numpy_names: set[str] = set()
+    nprandom_names: set[str] = set()
+    stdrandom_names: set[str] = set()
+    np_direct: dict[str, str] = {}  # local name -> numpy.random attr
+    std_direct: dict[str, str] = {}  # local name -> stdlib random attr
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "numpy":
+                    numpy_names.add(bound)
+                elif alias.name == "numpy.random":
+                    if alias.asname is None:
+                        numpy_names.add("numpy")
+                    else:
+                        nprandom_names.add(alias.asname)
+                elif alias.name == "random":
+                    stdrandom_names.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        nprandom_names.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    np_direct[alias.asname or alias.name] = alias.name
+            elif node.module == "random":
+                for alias in node.names:
+                    std_direct[alias.asname or alias.name] = alias.name
+    return numpy_names, nprandom_names, stdrandom_names, np_direct, std_direct
+
+
+@register
+class GlobalRngRule(Rule):
+    """R101: forbid global-state randomness outside ``utils/rng.py``."""
+
+    rule_id = "R101"
+    title = "global RNG state"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Flag global-stream RNG calls and argless ``default_rng()``.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (provides the config).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per offending call.
+        """
+        if module.posix.endswith(run.config.rng_module):
+            return
+        numpy_names, nprandom_names, stdrandom_names, np_direct, std_direct = (
+            _import_bindings(module.tree)
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            attr = None
+            origin = None
+            if len(parts) >= 3 and parts[0] in numpy_names and parts[1] == "random":
+                attr, origin = parts[2], "numpy.random"
+            elif len(parts) == 2 and parts[0] in nprandom_names:
+                attr, origin = parts[1], "numpy.random"
+            elif len(parts) == 2 and parts[0] in stdrandom_names:
+                if parts[1] not in _STD_RANDOM_ALLOWED:
+                    yield Finding(
+                        str(module.path), node.lineno, node.col_offset,
+                        self.rule_id,
+                        f"'{name}()' draws from the process-global stdlib "
+                        "random stream; take a seeded "
+                        "numpy.random.Generator (utils/rng.as_rng) instead",
+                    )
+                continue
+            elif len(parts) == 1 and parts[0] in np_direct:
+                attr, origin = np_direct[parts[0]], "numpy.random"
+            elif len(parts) == 1 and parts[0] in std_direct:
+                if std_direct[parts[0]] not in _STD_RANDOM_ALLOWED:
+                    yield Finding(
+                        str(module.path), node.lineno, node.col_offset,
+                        self.rule_id,
+                        f"'{parts[0]}()' (stdlib random.{std_direct[parts[0]]}) "
+                        "draws from the process-global stream; take a seeded "
+                        "numpy.random.Generator (utils/rng.as_rng) instead",
+                    )
+                continue
+            if attr is None or origin != "numpy.random":
+                continue
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield Finding(
+                        str(module.path), node.lineno, node.col_offset,
+                        self.rule_id,
+                        "argless default_rng() seeds from OS entropy and is "
+                        "unreproducible; pass a seed or route through "
+                        "utils/rng.as_rng",
+                    )
+            elif attr not in _NP_RANDOM_ALLOWED:
+                yield Finding(
+                    str(module.path), node.lineno, node.col_offset,
+                    self.rule_id,
+                    f"'np.random.{attr}()' mutates/draws the legacy global "
+                    "NumPy stream; use a seeded Generator "
+                    "(utils/rng.as_rng) instead",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether an expression certainly evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _walk_scope(nodes: list) -> Iterator[ast.AST]:
+    """Yield nodes of one scope, not descending into nested def bodies."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class SetIterationRule(Rule):
+    """R102: hash-ordered set iteration in order-sensitive packages."""
+
+    rule_id = "R102"
+    title = "set iteration order"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Flag loops/comprehensions whose iterable is a set.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (provides the config).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per set-ordered iteration.
+        """
+        if not module.in_any(run.config.order_sensitive):
+            return
+        yield from self._scope(module, module.tree.body, set())
+
+    def _scope(
+        self, module: ParsedModule, body: list, outer_sets: set
+    ) -> Iterator[Finding]:
+        """Walk one scope, tracking names locally bound to sets."""
+        local_sets = set(outer_sets)
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local_sets.add(target.id)
+        for node in _walk_scope(body):
+            iterables: list = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for it in iterables:
+                if _is_set_expr(it) or (
+                    isinstance(it, ast.Name) and it.id in local_sets
+                ):
+                    yield Finding(
+                        str(module.path), it.lineno, it.col_offset,
+                        self.rule_id,
+                        "iterating a set here is hash-order dependent and can "
+                        "leak nondeterminism into masks/trees; iterate "
+                        "sorted(...) (or a list/dict) instead",
+                    )
+        # Nested scopes (functions, methods) track their own bindings.
+        for node in _walk_scope(body):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                yield from self._scope(module, node.body, local_sets)

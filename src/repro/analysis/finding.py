@@ -1,0 +1,96 @@
+"""The typed result every lint rule emits.
+
+A :class:`Finding` pins one rule violation to a ``file:line:col``
+location with a stable rule identifier, so reporters, suppressions
+and CI gates all speak the same currency.  Findings are immutable,
+totally ordered (by location, then rule) and round-trip through plain
+dicts for the JSON reporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, as passed to the linter.
+    line:
+        1-based line of the violation (suppression comments on this
+        line apply to it).
+    col:
+        0-based column offset, as reported by :mod:`ast`.
+    rule:
+        Stable rule identifier (``R101`` ... ``R403``).
+    message:
+        Human-readable description of the violation.
+    symbol:
+        Qualified name of the offending object when the rule knows it
+        (R403 reports ``Class.method`` / ``function`` here so the
+        docstring test suite can key on it); empty otherwise.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    symbol: str = ""
+
+    def format(self) -> str:
+        """Render the finding as one ``path:line:col: RULE message`` line.
+
+        Returns
+        -------
+        str
+            The text-reporter representation.
+        """
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping of the finding's fields.
+
+        Returns
+        -------
+        dict
+            Plain ``{field: value}`` mapping, safe to ``json.dump``.
+        """
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "Finding":
+        """Rebuild a finding from :meth:`as_dict` output.
+
+        Parameters
+        ----------
+        data:
+            A mapping with the :class:`Finding` field names.
+
+        Returns
+        -------
+        Finding
+            The reconstructed finding.
+
+        Raises
+        ------
+        ValueError
+            If required fields are missing or of the wrong type.
+        """
+        try:
+            return Finding(
+                path=str(data["path"]),
+                line=int(data["line"]),
+                col=int(data["col"]),
+                rule=str(data["rule"]),
+                message=str(data["message"]),
+                symbol=str(data.get("symbol", "")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed finding record: {data!r}") from exc

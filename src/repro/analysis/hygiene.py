@@ -1,0 +1,282 @@
+"""R4 API-hygiene rules: exceptions, defaults and docstring contracts.
+
+- **R401** — bare ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides real failures behind fallback paths.
+- **R402** — mutable default arguments (``def f(x=[])``) are shared
+  across calls and leak state between invocations.
+- **R403** — the public-docstring completeness contract previously
+  enforced only by runtime reflection in ``tests/test_docstrings.py``,
+  now derived from the AST so ``repro lint`` (and CI) can check it
+  without importing the code.  The semantics intentionally mirror the
+  runtime audit: public module-level functions and public methods
+  (plus ``__call__``) of public classes in the audited packages need a
+  docstring whose summary ends in punctuation (pydocstyle D415), a
+  numpydoc ``Parameters`` section when the signature takes arguments
+  beyond ``self``/``cls``, a ``Returns`` section when the return
+  annotation is not ``None``, and a ``Raises`` section when the body
+  raises (lines marked ``pragma: no cover`` are exempt).  Properties,
+  static and class methods are skipped, exactly as the runtime walker
+  (which only sees plain functions) skips them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.framework import (
+    LintRun,
+    ParsedModule,
+    Rule,
+    dotted_name,
+    register,
+)
+
+__all__ = ["BareExceptRule", "MutableDefaultRule", "DocstringRule"]
+
+_SECTION_UNDERLINE = "---"
+
+#: Decorators that turn a ``def`` into a non-plain-function descriptor;
+#: the runtime audit (``inspect.isfunction``) never sees those, so the
+#: AST audit skips them too.
+_SKIP_DECORATORS = frozenset({
+    "property", "cached_property", "staticmethod", "classmethod",
+    "setter", "getter", "deleter", "abstractmethod",
+})
+
+
+@register
+class BareExceptRule(Rule):
+    """R401: bare ``except:`` clauses."""
+
+    rule_id = "R401"
+    title = "bare except"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Flag every exception handler without an exception type.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (unused).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per bare handler.
+        """
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    str(module.path), node.lineno, node.col_offset,
+                    self.rule_id,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type (or use 'except Exception:')",
+                )
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    """Whether a default-value expression builds a fresh mutable object."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """R402: mutable default argument values."""
+
+    rule_id = "R402"
+    title = "mutable default argument"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Flag list/dict/set-valued parameter defaults.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (unused).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per mutable default.
+        """
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield Finding(
+                        str(module.path), default.lineno, default.col_offset,
+                        self.rule_id,
+                        f"'{name}' has a mutable default argument "
+                        "(shared across calls); default to None and build "
+                        "the object in the body",
+                        symbol=name,
+                    )
+
+
+def _decorator_names(func: ast.FunctionDef) -> set:
+    """Trailing names of every decorator on a function."""
+    names: set = set()
+    for decorator in func.decorator_list:
+        expr = decorator
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            names.add(dotted.split(".")[-1])
+    return names
+
+
+def _audited(func: ast.FunctionDef, *, method: bool) -> bool:
+    """Whether the runtime docstring walker would audit this def."""
+    if method:
+        if func.name.startswith("_") and func.name != "__call__":
+            return False
+    elif func.name.startswith("_"):
+        return False
+    return not (_decorator_names(func) & _SKIP_DECORATORS)
+
+
+def _has_section(doc: str, title: str) -> bool:
+    """Whether a numpydoc section with ``---`` underline is present."""
+    lines = doc.splitlines()
+    for i, line in enumerate(lines[:-1]):
+        if line.strip() == title and lines[i + 1].strip().startswith(
+            _SECTION_UNDERLINE
+        ):
+            return True
+    return False
+
+
+def _wants_parameters(func: ast.FunctionDef) -> bool:
+    """Whether the signature takes arguments beyond ``self``/``cls``."""
+    args = func.args
+    named = args.posonlyargs + args.args + args.kwonlyargs
+    params = [a for a in named if a.arg not in ("self", "cls")]
+    return bool(params) or args.vararg is not None or args.kwarg is not None
+
+
+def _wants_returns(func: ast.FunctionDef) -> bool:
+    """Whether the return annotation promises a value."""
+    annotation = func.returns
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and annotation.value in (
+        None, "None"
+    ):
+        return False
+    return True
+
+
+def _wants_raises(func: ast.FunctionDef, module: ParsedModule) -> bool:
+    """Whether the body raises outside ``pragma: no cover`` lines."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Raise):
+            line = ""
+            if 1 <= node.lineno <= len(module.lines):
+                line = module.lines[node.lineno - 1]
+            if "pragma: no cover" not in line:
+                return True
+    return False
+
+
+@register
+class DocstringRule(Rule):
+    """R403: public-docstring completeness in the audited packages."""
+
+    rule_id = "R403"
+    title = "public docstring contract"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Audit public functions and methods of one module.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (provides the audited-package config).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per missing docstring or missing section.
+        """
+        if not module.in_any(run.config.docstring_packages):
+            return
+        stem = module.path.stem
+        if stem.startswith("_") and stem != "__init__":
+            return
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _audited(stmt, method=False):
+                    yield from self._check_def(stmt, stmt.name, module)
+            elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith(
+                "_"
+            ):
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        if _audited(member, method=True):
+                            yield from self._check_def(
+                                member, f"{stmt.name}.{member.name}", module
+                            )
+
+    def _check_def(
+        self, func: ast.FunctionDef, symbol: str, module: ParsedModule
+    ) -> Iterator[Finding]:
+        """Apply the four docstring checks to one function."""
+        path = str(module.path)
+        doc = ast.get_docstring(func, clean=True)
+        if not doc:
+            yield Finding(
+                path, func.lineno, func.col_offset, self.rule_id,
+                f"public function '{symbol}' has no docstring",
+                symbol=symbol,
+            )
+            return
+        summary = doc.splitlines()[0].strip()
+        if not summary or summary[-1] not in ".?!:":
+            yield Finding(
+                path, func.lineno, func.col_offset, self.rule_id,
+                f"'{symbol}': docstring summary must end with punctuation "
+                f"(D415): {summary!r}",
+                symbol=symbol,
+            )
+        if _wants_parameters(func) and not _has_section(doc, "Parameters"):
+            yield Finding(
+                path, func.lineno, func.col_offset, self.rule_id,
+                f"'{symbol}' takes arguments but its docstring has no "
+                "numpydoc 'Parameters' section",
+                symbol=symbol,
+            )
+        if _wants_returns(func) and not _has_section(doc, "Returns"):
+            yield Finding(
+                path, func.lineno, func.col_offset, self.rule_id,
+                f"'{symbol}' returns a value but its docstring has no "
+                "numpydoc 'Returns' section",
+                symbol=symbol,
+            )
+        if _wants_raises(func, module) and not _has_section(doc, "Raises"):
+            yield Finding(
+                path, func.lineno, func.col_offset, self.rule_id,
+                f"'{symbol}' raises but its docstring has no numpydoc "
+                "'Raises' section",
+                symbol=symbol,
+            )

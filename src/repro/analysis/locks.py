@@ -1,0 +1,189 @@
+"""R3 lock-discipline rule for the serving tier's shared state.
+
+The registry, query engine and thread-pool sharding helpers guard
+mutable shared state with ``threading.Lock``/``RLock`` attributes —
+but only by convention.  **R301** makes the convention checkable: in
+any class whose ``__init__`` creates a lock attribute, every method
+that mutates another instance attribute must do so inside a
+``with self.<lock>:`` block.
+
+Two conventions from the serve package are honoured:
+
+- Methods named ``*_locked`` (configurable suffix) are internal
+  helpers documented as "caller holds the lock" and are skipped.
+- ``__init__`` itself is skipped — no other thread can hold a
+  reference during construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.framework import (
+    LintRun,
+    ParsedModule,
+    Rule,
+    dotted_name,
+    register,
+)
+
+__all__ = ["LockDisciplineRule"]
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+#: Call-method names that mutate the receiver in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "pop",
+    "popitem", "remove", "discard", "setdefault", "sort",
+})
+
+
+def _lock_attrs(init: ast.FunctionDef) -> set:
+    """Names of ``self.<attr>`` bound to ``Lock()``/``RLock()`` calls."""
+    attrs: set = set()
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _creates_lock(node.value):
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                attrs.add(target.attr)
+    return attrs
+
+
+def _creates_lock(value: ast.AST) -> bool:
+    """Whether an expression (possibly conditional) builds a lock."""
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] in _LOCK_FACTORIES:
+                return True
+    return False
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """The attribute name if ``node`` is exactly ``self.<attr>``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _root_self_attr(node: ast.AST) -> str | None:
+    """The base ``self.<attr>`` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        direct = _self_attr(node)
+        if direct is not None:
+            return direct
+        node = node.value
+    return None
+
+
+def _holds_lock(node: ast.With, lock_attrs: set) -> bool:
+    """Whether a ``with`` statement acquires one of the lock attrs."""
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):  # e.g. self.lock.acquire-style wrappers
+            expr = expr.func if isinstance(expr.func, ast.Attribute) else expr
+            if isinstance(expr, ast.Attribute):
+                expr = expr.value
+        attr = _self_attr(expr)
+        if attr in lock_attrs:
+            return True
+    return False
+
+
+def _mutations(node: ast.AST) -> Iterator[tuple[str, int]]:
+    """Yield ``(attr, line)`` for every ``self.<attr>`` mutation in a node."""
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _root_self_attr(target)
+            if attr is not None:
+                yield attr, target.lineno
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = _root_self_attr(target)
+            if attr is not None:
+                yield attr, target.lineno
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            attr = _root_self_attr(node.func.value)
+            if attr is not None:
+                yield attr, node.lineno
+
+
+def _walk_unlocked(nodes: list, lock_attrs: set) -> Iterator[ast.AST]:
+    """Walk statements, pruning subtrees under a lock-holding ``with``."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.With) and _holds_lock(node, lock_attrs):
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # nested defs execute later, under their caller's rules
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class LockDisciplineRule(Rule):
+    """R301: shared-attribute mutation outside the instance lock."""
+
+    rule_id = "R301"
+    title = "lock discipline"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Flag unguarded mutations in lock-holding classes.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (provides the config).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per unguarded ``self.<attr>`` mutation.
+        """
+        suffix = run.config.locked_method_suffix
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            init = next(
+                (stmt for stmt in cls.body
+                 if isinstance(stmt, ast.FunctionDef)
+                 and stmt.name == "__init__"),
+                None,
+            )
+            if init is None:
+                continue
+            lock_attrs = _lock_attrs(init)
+            if not lock_attrs:
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__" or method.name.endswith(suffix):
+                    continue
+                for node in _walk_unlocked(method.body, lock_attrs):
+                    for attr, lineno in _mutations(node):
+                        if attr in lock_attrs:
+                            continue
+                        yield Finding(
+                            str(module.path), lineno, 0, self.rule_id,
+                            f"'{cls.name}.{method.name}' mutates shared "
+                            f"attribute self.{attr} outside 'with "
+                            f"self.{sorted(lock_attrs)[0]}:'",
+                            symbol=f"{cls.name}.{method.name}",
+                        )

@@ -1,0 +1,102 @@
+"""Text and JSON reporters for lint results.
+
+The text form is the one humans and CI logs read — one
+``path:line:col: RULE message`` line per finding plus a summary line.
+The JSON form is a versioned schema (``{"version": 1, ...}``) that
+round-trips through :func:`findings_from_json`, so downstream tooling
+can diff lint runs without scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.finding import Finding
+from repro.analysis.framework import LintResult
+
+__all__ = ["render_text", "render_json", "findings_from_json"]
+
+#: Schema version stamped into every JSON report.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Render a lint result as human-readable lines.
+
+    Parameters
+    ----------
+    result:
+        The lint run's outcome.
+
+    Returns
+    -------
+    str
+        One line per finding, then a summary line.
+    """
+    lines = [finding.format() for finding in result.findings]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"{len(result.findings)} {noun} in {result.files} files "
+        f"({result.suppressed} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Render a lint result as a versioned JSON document.
+
+    Parameters
+    ----------
+    result:
+        The lint run's outcome.
+
+    Returns
+    -------
+    str
+        A JSON object with ``version``, ``files``, ``suppressed`` and
+        ``findings`` keys.
+    """
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files": result.files,
+        "suppressed": result.suppressed,
+        "findings": [finding.as_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def findings_from_json(text: str) -> tuple:
+    """Parse a :func:`render_json` document back into findings.
+
+    Parameters
+    ----------
+    text:
+        JSON produced by :func:`render_json`.
+
+    Returns
+    -------
+    tuple
+        The reconstructed :class:`~repro.analysis.finding.Finding`
+        objects, in document order.
+
+    Raises
+    ------
+    ValueError
+        If the document is not valid JSON, has an unknown schema
+        version, or contains malformed finding records.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not a JSON lint report: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != (
+        JSON_SCHEMA_VERSION
+    ):
+        raise ValueError(
+            f"unsupported lint report version: {payload!r:.80}"
+        )
+    records = payload.get("findings")
+    if not isinstance(records, list):
+        raise ValueError("lint report has no 'findings' list")
+    return tuple(Finding.from_dict(record) for record in records)

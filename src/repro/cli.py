@@ -1,6 +1,6 @@
 """Command-line interface: sparsify Matrix Market graphs from the shell.
 
-Five subcommands:
+Six subcommands:
 
 ``sparsify``
     Compute a σ²-similar sparsifier of a ``.mtx`` graph/SDD matrix.
@@ -43,6 +43,11 @@ Five subcommands:
       with inverse-length weights;
     - ``barabasi_albert`` — s²-vertex preferential-attachment graph
       (attachment degree 4), the scale-free stress case.
+``lint``
+    Run the project's AST static analyzer (:mod:`repro.analysis`)
+    over source trees: determinism (R1xx), stage-contract (R2xx),
+    lock-discipline (R3xx) and API-hygiene (R4xx) rules, with text or
+    JSON output.  See ``docs/LINTING.md`` for the rule catalogue.
 
 Examples
 --------
@@ -76,10 +81,14 @@ Generate a synthetic workload::
 
     python -m repro generate circuit_grid --out grid.mtx --size 64
 
-Exit codes are distinct per failure class: ``0`` success, ``2`` usage
-errors (argparse and mutually exclusive flags), ``3`` missing input
-files, ``4`` invalid input data (malformed files, bad parameter
-values).
+Lint the source tree and benchmarks (the CI static-analysis gate)::
+
+    python -m repro lint src benchmarks
+
+Exit codes are distinct per failure class: ``0`` success, ``1`` lint
+findings (``lint`` only), ``2`` usage errors (argparse and mutually
+exclusive flags), ``3`` missing input files, ``4`` invalid input data
+(malformed files, bad parameter values).
 """
 
 from __future__ import annotations
@@ -94,11 +103,13 @@ from repro.graphs.io import load_graph_matrix_market, write_matrix_market
 __all__ = [
     "main",
     "build_parser",
+    "EXIT_LINT_FINDINGS",
     "EXIT_USAGE",
     "EXIT_MISSING_INPUT",
     "EXIT_INVALID_DATA",
 ]
 
+EXIT_LINT_FINDINGS = 1
 EXIT_USAGE = 2
 EXIT_MISSING_INPUT = 3
 EXIT_INVALID_DATA = 4
@@ -241,6 +252,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("--size", type=int, default=32,
                             help="side length / sqrt(n) (default 32)")
     p_generate.add_argument("--seed", type=int, default=0)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the project AST static analyzer"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
     return parser
 
 
@@ -388,6 +415,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import LintConfig, lint_paths
+    from repro.analysis.reporters import render_json, render_text
+
+    paths = args.paths or [p for p in ("src", "benchmarks") if Path(p).is_dir()]
+    if not paths:
+        raise FileNotFoundError("no lint targets (and no src/benchmarks here)")
+    rules = None
+    if args.rules:
+        rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    result = lint_paths(paths, LintConfig(rules=rules))
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return EXIT_LINT_FINDINGS if result.findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -399,9 +444,10 @@ def main(argv: list[str] | None = None) -> int:
     Returns
     -------
     int
-        ``0`` on success; ``2`` usage error (raised as ``SystemExit``
-        by argparse, returned directly for flag conflicts); ``3`` when
-        an input file is missing; ``4`` on invalid input data.
+        ``0`` on success; ``1`` when ``lint`` reports findings; ``2``
+        usage error (raised as ``SystemExit`` by argparse, returned
+        directly for flag conflicts); ``3`` when an input file is
+        missing; ``4`` on invalid input data.
     """
     args = build_parser().parse_args(argv)
     handlers = {
@@ -410,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "similarity": _cmd_similarity,
         "generate": _cmd_generate,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

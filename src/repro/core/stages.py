@@ -179,7 +179,7 @@ class FilterStage(Stage):
 
     name = "filter"
     requires = ("state", "off_tree", "heats", "lambda_max")
-    provides = ("threshold", "candidates")
+    provides = ("threshold", "candidates", "lambda_min")
 
     def run(self, ctx: PipelineContext) -> dict:
         """Select passing candidates, most critical first.
@@ -273,7 +273,7 @@ class DensifyStage(Stage):
 
     name = "densify"
     provides = ("state", "edge_mask", "iterations", "converged",
-                "sigma2_estimate")
+                "sigma2_estimate", "lambda_min")
     child_names = (
         "densify.estimate",
         "densify.embedding",

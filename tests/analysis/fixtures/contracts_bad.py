@@ -1,0 +1,52 @@
+"""R2 true-positive fixture: contract drift and a mis-ordered pipeline.
+
+Parsed by the linter, never imported — the undefined ``Stage`` /
+``SparsifyPipeline`` names only need to exist at runtime.
+"""
+
+
+class LeakyStage(Stage):                          # noqa: F821
+    """Reads and writes context names it never declares."""
+
+    name = "leaky"
+    requires = ("state", "edge_mask")
+    provides = ("threshold",)
+
+    def run(self, ctx):
+        """R201 (undeclared read), R202 (undeclared write), R203 (dead)."""
+        heat = ctx.heats                          # R201: undeclared read
+        ctx.candidates = heat * 2                 # R202: undeclared write
+        ctx.threshold = 0.5
+        return {"n": int(ctx.state.num_edges)}
+        # edge_mask declared required but never read -> R203
+
+
+class ProducerStage(Stage):                       # noqa: F821
+    """Provides the heats ConsumerStage needs."""
+
+    name = "producer"
+    requires = ("state",)
+    provides = ("heats",)
+
+    def run(self, ctx):
+        """Write the declared output."""
+        ctx.heats = ctx.state.heats()
+        return {}
+
+
+class ConsumerStage(Stage):                       # noqa: F821
+    """Thresholds the heats; its own contract is clean."""
+
+    name = "consumer"
+    requires = ("heats",)
+    provides = ("threshold",)
+
+    def run(self, ctx):
+        """Declared read, declared write."""
+        ctx.threshold = max(ctx.heats)
+        return {}
+
+
+def build():
+    """R204: the consumer runs before the producer of its input."""
+    return SparsifyPipeline([ConsumerStage(), ProducerStage()])  # noqa: F821

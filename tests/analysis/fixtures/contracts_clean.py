@@ -1,0 +1,33 @@
+"""R2 clean fixture: declarations match dataflow, pipeline well-ordered."""
+
+
+class SourceStage(Stage):                         # noqa: F821
+    """Produces heats from the mounted state."""
+
+    name = "source"
+    requires = ("state",)
+    provides = ("heats",)
+
+    def run(self, ctx):
+        """Read what is required, write what is provided."""
+        ctx.heats = ctx.state.heats()
+        return {}
+
+
+class SinkStage(Stage):                           # noqa: F821
+    """Thresholds the heats into candidates."""
+
+    name = "sink"
+    requires = ("heats",)
+    provides = ("threshold", "candidates")
+
+    def run(self, ctx):
+        """Both writes are declared; the read is required."""
+        ctx.threshold = 0.5
+        ctx.candidates = [h for h in ctx.heats if h > ctx.threshold]
+        return {"kept": len(ctx.candidates)}
+
+
+def build():
+    """Producer before consumer: wirable left to right."""
+    return SparsifyPipeline([SourceStage(), SinkStage()])  # noqa: F821

@@ -1,0 +1,21 @@
+"""R1 true-positive fixture: global RNG state and set iteration."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng, shuffle
+
+
+def draw_edges(count):
+    """Every statement here violates a determinism rule."""
+    np.random.seed(0)                       # R101: legacy global seed
+    weights = np.random.rand(count)         # R101: legacy global draw
+    jitter = random.random()                # R101: stdlib global stream
+    rng = default_rng()                     # R101: argless default_rng
+    shuffle(weights)                        # R101: direct-imported global op
+    chosen = {1, 2, 3}
+    total = 0
+    for edge in chosen:                     # R102: set iteration
+        total += edge
+    doubled = [e * 2 for e in set(range(count))]   # R102: set comprehension
+    return weights, jitter, rng, total, doubled

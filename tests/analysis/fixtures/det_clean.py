@@ -1,0 +1,16 @@
+"""R1 clean fixture: seeded generators and ordered iteration."""
+
+from numpy.random import PCG64, Generator, default_rng
+
+
+def draw_edges(count, seed=0):
+    """Deterministic twin of the bad fixture."""
+    rng = default_rng(seed)                 # seeded: allowed
+    weights = rng.random(count)             # instance draw: allowed
+    local = Generator(PCG64(seed))          # explicit bit generator: allowed
+    chosen = {1, 2, 3}
+    total = 0
+    for edge in sorted(chosen):             # ordered: allowed
+        total += edge
+    doubled = [e * 2 for e in sorted(set(range(count)))]
+    return weights, local, total, doubled

@@ -1,0 +1,22 @@
+"""R4 true-positive fixture: bare except, mutable default, bad docs."""
+
+
+def undocumented(x):                              # R403: no docstring
+    return x + 1
+
+
+def sloppy(values=[], mapping={}):                # R402 twice
+    """Summary without terminal punctuation"""
+    try:                                          # R403: no Parameters section
+        return values + sorted(mapping)
+    except:                                       # R401: bare except
+        return None
+
+
+class Widget(object):
+    """A documented class with an undocumented public method."""
+
+    def poke(self, times) -> int:                 # R403: missing everything
+        if times < 0:
+            raise ValueError("negative")
+        return times

@@ -1,0 +1,53 @@
+"""R4 clean fixture: full numpydoc contracts, safe defaults, typed except."""
+
+
+def documented(values=None, mapping=None):
+    """Sum the values plus the sorted mapping keys.
+
+    Parameters
+    ----------
+    values:
+        Optional list of numbers.
+    mapping:
+        Optional mapping whose keys are summed.
+
+    Returns
+    -------
+    int
+        The combined total.
+    """
+    values = values if values is not None else []
+    mapping = mapping if mapping is not None else {}
+    try:
+        return sum(values) + sum(sorted(mapping))
+    except TypeError:
+        return 0
+
+
+class Widget(object):
+    """A fully documented widget."""
+
+    def poke(self, times) -> int:
+        """Poke the widget a number of times.
+
+        Parameters
+        ----------
+        times:
+            How many pokes; must be non-negative.
+
+        Returns
+        -------
+        int
+            The number of pokes performed.
+
+        Raises
+        ------
+        ValueError
+            If ``times`` is negative.
+        """
+        if times < 0:
+            raise ValueError("negative")
+        return times
+
+    def _internal(self):
+        return None

@@ -1,0 +1,22 @@
+"""R3 true-positive fixture: shared-state mutation outside the lock."""
+
+import threading
+
+
+class LeakyStore(object):
+    """Holds a lock but mutates shared state without taking it."""
+
+    def __init__(self):
+        """Create the lock and the shared mappings."""
+        self.lock = threading.RLock()
+        self.items = {}
+        self.count = 0
+
+    def put(self, key, value):
+        """R301 twice: dict store and counter bump, both unguarded."""
+        self.items[key] = value
+        self.count += 1
+
+    def drain(self):
+        """R301: in-place mutator call outside the lock."""
+        self.items.clear()

@@ -1,0 +1,27 @@
+"""R3 clean fixture: every mutation under the lock or in ``*_locked``."""
+
+import threading
+
+
+class GuardedStore(object):
+    """Same shape as the bad fixture, with the discipline applied."""
+
+    def __init__(self):
+        """Create the lock and the shared mappings."""
+        self.lock = threading.RLock()
+        self.items = {}
+        self.count = 0
+
+    def put(self, key, value):
+        """Mutations inside ``with self.lock:`` pass."""
+        with self.lock:
+            self.items[key] = value
+            self.count += 1
+
+    def get(self, key):
+        """Unguarded reads are not flagged."""
+        return self.items.get(key)
+
+    def _drain_locked(self):
+        """``*_locked`` helpers assume the caller holds the lock."""
+        self.items.clear()

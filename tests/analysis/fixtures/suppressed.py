@@ -1,0 +1,10 @@
+"""Suppression fixture: violations silenced per line, one left live."""
+
+import numpy as np
+
+
+def seeded_for_tests():
+    """Two suppressed violations and one live one."""
+    np.random.seed(7)   # repro-lint: disable=R101
+    np.random.rand(3)   # repro-lint: disable=all
+    return np.random.rand(2)

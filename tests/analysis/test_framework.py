@@ -1,0 +1,118 @@
+"""Framework-level tests: suppressions, reporters, and the repo gate.
+
+The last two tests are the teeth of the CI ``static-analysis`` job run
+locally: the shipped ``src/`` and ``benchmarks/`` trees must lint clean
+under the default config, with zero suppression comments in the
+``core`` and ``serve`` packages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CONTEXT_FLOWING,
+    CONTEXT_KNOBS,
+    RULES,
+    Finding,
+    LintConfig,
+    findings_from_json,
+    lint_files,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.core.context import PipelineContext
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_registry_covers_all_families():
+    families = {rule_id[:2] for rule_id in RULES}
+    assert families == {"R1", "R2", "R3", "R4"}
+
+
+def test_suppression_comments_silence_findings():
+    result = lint_files([FIXTURES / "suppressed.py"])
+    assert result.suppressed == 2  # disable=R101 and disable=all
+    assert [f.rule for f in result.findings] == ["R101"]  # the live one
+
+
+def test_text_reporter_format():
+    result = lint_files([FIXTURES / "suppressed.py"])
+    text = render_text(result)
+    finding = result.findings[0]
+    assert f"{finding.path}:{finding.line}:{finding.col}: R101" in text
+    assert "1 finding" in text
+    assert "(2 suppressed)" in text
+
+
+def test_json_reporter_round_trip():
+    result = lint_files(
+        [FIXTURES / "det_bad.py"],
+        LintConfig(order_sensitive=("fixtures/",)),
+    )
+    document = render_json(result)
+    payload = json.loads(document)
+    assert payload["version"] == 1
+    assert payload["files"] == 1
+    assert payload["suppressed"] == 0
+    assert len(payload["findings"]) == len(result.findings)
+    restored = findings_from_json(document)
+    assert restored == result.findings
+
+
+def test_json_reporter_rejects_malformed_documents():
+    with pytest.raises(ValueError):
+        findings_from_json("not json at all {")
+    with pytest.raises(ValueError):
+        findings_from_json('{"version": 99, "findings": []}')
+    with pytest.raises(ValueError):
+        findings_from_json('{"version": 1, "findings": [{"path": "x"}]}')
+
+
+def test_finding_ordering_and_format():
+    a = Finding("a.py", 3, 0, "R101", "m")
+    b = Finding("a.py", 10, 0, "R102", "m")
+    assert sorted([b, a]) == [a, b]
+    assert a.format() == "a.py:3:0: R101 m"
+
+
+def test_missing_path_raises_file_not_found():
+    with pytest.raises(FileNotFoundError):
+        lint_paths([FIXTURES / "does_not_exist"])
+
+
+def test_syntax_error_raises_value_error(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="cannot parse"):
+        lint_paths([broken])
+
+
+def test_context_partition_matches_dataclass():
+    """KNOBS/FLOWING must stay in sync with PipelineContext's fields."""
+    fields = {f.name for f in dataclasses.fields(PipelineContext)}
+    assert CONTEXT_KNOBS | CONTEXT_FLOWING == fields
+    assert not CONTEXT_KNOBS & CONTEXT_FLOWING
+
+
+def test_repo_lints_clean_with_default_config():
+    """The CI gate, run in-process: zero findings over src+benchmarks."""
+    result = lint_paths([REPO / "src", REPO / "benchmarks"])
+    formatted = "\n".join(f.format() for f in result.findings)
+    assert not result.findings, f"repo lint regressions:\n{formatted}"
+
+
+def test_core_and_serve_carry_no_suppressions():
+    """Satellite guarantee: core/ and serve/ are clean without opt-outs."""
+    for package in ("core", "serve"):
+        for path in sorted((REPO / "src" / "repro" / package).rglob("*.py")):
+            assert "repro-lint:" not in path.read_text(encoding="utf-8"), (
+                f"suppression comment found in {path}"
+            )

@@ -1,0 +1,62 @@
+"""CLI exit-code contract of ``repro lint``.
+
+``0`` clean, ``1`` findings, ``3`` missing target, ``4`` unparsable
+input — matching the failure-class partition of the other subcommands.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import (
+    EXIT_INVALID_DATA,
+    EXIT_LINT_FINDINGS,
+    EXIT_MISSING_INPUT,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_lint_findings_exit_one(capsys):
+    code = main(["lint", str(FIXTURES / "det_bad.py")])
+    assert code == EXIT_LINT_FINDINGS == 1
+    out = capsys.readouterr().out
+    assert "R101" in out
+    assert "det_bad.py:" in out
+
+
+def test_lint_clean_exits_zero(capsys):
+    code = main(["lint", str(FIXTURES / "hygiene_clean.py")])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_lint_missing_target_exits_three(capsys):
+    code = main(["lint", str(FIXTURES / "no_such_dir")])
+    assert code == EXIT_MISSING_INPUT == 3
+    assert "not found" in capsys.readouterr().err
+
+
+def test_lint_unparsable_input_exits_four(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+    code = main(["lint", str(broken)])
+    assert code == EXIT_INVALID_DATA == 4
+    assert "invalid input" in capsys.readouterr().err
+
+
+def test_lint_json_format(capsys):
+    code = main(["lint", "--format", "json", str(FIXTURES / "det_bad.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert any(f["rule"] == "R101" for f in payload["findings"])
+
+
+def test_lint_rule_filter(capsys):
+    code = main(["lint", "--rules", "R401",
+                 str(FIXTURES / "det_bad.py")])
+    assert code == 0  # det_bad has no bare except
+    assert "0 findings" in capsys.readouterr().out
