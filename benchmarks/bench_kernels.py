@@ -3,16 +3,32 @@
 Not tied to a specific paper table; these isolate the cost centres the
 paper's complexity analysis talks about: LSST extraction, stretch
 computation, tree solves, AMG cycles, and the full sparsification.
+
+The backend-comparison section runs every registered kernel backend
+(:mod:`repro.kernels`) head-to-head on the headline 200x200 grid,
+asserts bit parity, requires the vectorized scoring rewrite to beat
+``reference`` by >= 1.5x, and (with ``--record``) appends per-backend
+timings to ``benchmarks/BENCH_kernels.json``.
+
+Run explicitly (benchmarks are not collected by the default test run):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -v -s --record
+
+CI runs this file with ``--smoke``: tiny graph, parity asserts only,
+no timing assertions.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.graphs import generators
+from repro.kernels import HAS_NUMBA, kernel_impl
 from repro.solvers import AMGSolver, DirectSolver
-from repro.sparsify import sparsify_graph
+from repro.sparsify import SparsifierState, sparsify_graph
 from repro.trees import (
     RootedTree,
     TreeSolver,
@@ -20,6 +36,7 @@ from repro.trees import (
     edge_stretches,
     low_stretch_tree,
 )
+from repro.utils.rng import as_rng
 
 
 @pytest.fixture(scope="module")
@@ -71,3 +88,131 @@ def test_kernel_full_sparsification(benchmark, big_grid):
         rounds=1, iterations=1,
     )
     assert result.sparsifier.num_edges < big_grid.num_edges
+
+
+# ----------------------------------------------------------------------
+# Backend comparison (repro.kernels): reference vs vectorized (vs numba
+# where installed), bit parity + recorded timings.
+# ----------------------------------------------------------------------
+
+#: Headline speedup floor: the vectorized scoring rewrite must beat the
+#: sequential reference by at least this factor on the 200x200 grid.
+SCORING_SPEEDUP_FLOOR = 1.5
+
+_CHALLENGERS = ("vectorized", "numba") if HAS_NUMBA else ("vectorized",)
+
+
+def _best_of(fn, repeats):
+    """Result and minimum wall time over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_backend_comparison(smoke, record):
+    side = 40 if smoke else 200
+    repeats = 1 if smoke else 3
+    graph = generators.grid2d(side, side, weights="uniform", seed=99)
+    metrics = {"side": float(side)}
+
+    # --- lsst: build the backbone with every backend -------------------
+    timings = {}
+    trees = {}
+    for backend in ("reference",) + _CHALLENGERS:
+        impl = kernel_impl("lsst", backend)
+        trees[backend], timings[backend] = _best_of(
+            lambda impl=impl: impl(graph, method="akpw", seed=as_rng(7)),
+            repeats,
+        )
+        metrics[f"lsst_{backend}_s"] = timings[backend]
+    for backend in _CHALLENGERS:
+        assert np.array_equal(trees[backend], trees["reference"])
+
+    # --- embedding + filtering: shared mid-loop inputs -----------------
+    tree = trees["reference"]
+    state = SparsifierState(graph, tree)
+    solver = state.solver()
+    off_tree = np.flatnonzero(~state.edge_mask)
+    heats = {}
+    for backend in ("reference",) + _CHALLENGERS:
+        impl = kernel_impl("embedding", backend)
+        heats[backend], seconds = _best_of(
+            lambda impl=impl: impl(
+                graph, solver, off_tree, t=2, num_vectors=None,
+                seed=as_rng(3), LG=state.host_laplacian,
+            ),
+            repeats,
+        )
+        metrics[f"embedding_{backend}_s"] = seconds
+    for backend in _CHALLENGERS:
+        assert np.array_equal(heats[backend], heats["reference"])
+
+    passing = {}
+    for backend in ("reference",) + _CHALLENGERS:
+        impl = kernel_impl("filtering", backend)
+        passing[backend], seconds = _best_of(
+            lambda impl=impl: impl(
+                heats["reference"], sigma2=10.0, lambda_min=1.0,
+                lambda_max=1e3, t=2,
+            ),
+            repeats,
+        )
+        metrics[f"filtering_{backend}_s"] = seconds
+    for backend in _CHALLENGERS:
+        assert passing[backend][0] == passing["reference"][0]
+        assert np.array_equal(passing[backend][1], passing["reference"][1])
+
+    # --- scoring: the headline kernel, uncapped over all off-tree ------
+    added = {}
+    for backend in ("reference",) + _CHALLENGERS:
+        impl = kernel_impl("scoring", backend)
+        added[backend], timings[backend] = _best_of(
+            lambda impl=impl: impl(
+                graph, off_tree, max_edges=None, mode="endpoint"
+            ),
+            repeats,
+        )
+        metrics[f"scoring_{backend}_s"] = timings[backend]
+    for backend in _CHALLENGERS:
+        assert np.array_equal(added[backend], added["reference"])
+
+    speedup = timings["reference"] / max(timings["vectorized"], 1e-12)
+    metrics["scoring_speedup_vectorized"] = speedup
+    print(f"\ngrid {side}x{side} per-backend seconds:")
+    for key in sorted(metrics):
+        print(f"  {key:32s} {metrics[key]:.6f}")
+    record("kernels", **metrics)
+
+    if not smoke:
+        assert speedup >= SCORING_SPEEDUP_FLOOR, (
+            f"vectorized scoring speedup {speedup:.2f}x below the "
+            f"{SCORING_SPEEDUP_FLOOR}x floor"
+        )
+
+
+def test_backend_end_to_end_parity_and_timing(smoke, record):
+    side = 30 if smoke else 120
+    repeats = 1 if smoke else 3
+    graph = generators.grid2d(side, side, weights="uniform", seed=5)
+    results = {}
+    metrics = {"side": float(side)}
+    for backend in ("reference",) + _CHALLENGERS:
+        results[backend], seconds = _best_of(
+            lambda backend=backend: sparsify_graph(
+                graph, sigma2=100.0, seed=0, kernel_backend=backend
+            ),
+            repeats,
+        )
+        metrics[f"sparsify_{backend}_s"] = seconds
+    for backend in _CHALLENGERS:
+        assert np.array_equal(
+            results[backend].edge_mask, results["reference"].edge_mask
+        )
+        assert np.array_equal(
+            results[backend].tree_indices, results["reference"].tree_indices
+        )
+    record("kernels_end_to_end", **metrics)

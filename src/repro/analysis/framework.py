@@ -52,7 +52,8 @@ CONTEXT_KNOBS = frozenset({
     "graph", "rng", "sigma2", "tree_method", "t", "num_vectors",
     "power_iterations", "max_iterations", "max_edges_per_iteration",
     "similarity_mode", "solver_method", "max_update_rank",
-    "amg_rebuild_every", "converged", "iterations", "profile",
+    "amg_rebuild_every", "kernel_backend", "converged", "iterations",
+    "profile",
 })
 
 #: Context names that *flow* between stages (None/NaN until a stage or
@@ -71,6 +72,33 @@ CONTEXT_FLOWING = frozenset({
 CONTEXT_METHOD_EFFECTS = {
     "ensure_state": (("tree_indices", "state"), ("state",)),
     "edge_cap": (("max_edges_per_iteration",), ()),
+}
+
+#: Dataflow effects of ``ctx.kernel("<name>")`` dispatch, per kernel:
+#: ``name -> (reads, writes)``.  Must mirror the ``reads``/``writes``
+#: declared by ``repro.kernels.registry.KERNELS`` exactly — the
+#: cross-check test in ``tests/analysis`` pins the two tables to each
+#: other — so stages that delegate their body to a kernel still lint
+#: clean under the R201–R204 contract rules.  A dispatch with an
+#: unknown or non-literal kernel name is flagged R205.
+KERNEL_DISPATCH_EFFECTS = {
+    "lsst": (
+        ("graph", "rng", "tree_method"),
+        ("tree_indices",),
+    ),
+    "embedding": (
+        ("state", "rng", "graph", "t", "num_vectors"),
+        ("off_tree", "heats"),
+    ),
+    "filtering": (
+        ("state", "off_tree", "heats", "lambda_max", "sigma2", "t"),
+        ("threshold", "candidates", "lambda_min"),
+    ),
+    "scoring": (
+        ("state", "graph", "candidates", "similarity_mode",
+         "max_edges_per_iteration"),
+        ("added",),
+    ),
 }
 
 
@@ -103,10 +131,12 @@ class LintConfig:
     rng_module: str = "utils/rng.py"
     order_sensitive: tuple = (
         "repro/sparsify/", "repro/trees/", "repro/core/", "repro/stream/",
+        "repro/kernels/",
     )
     docstring_packages: tuple = (
         "repro/sparsify/", "repro/solvers/", "repro/stream/",
         "repro/serve/", "repro/core/", "repro/analysis/",
+        "repro/kernels/",
     )
     locked_method_suffix: str = "_locked"
     context_knobs: frozenset = CONTEXT_KNOBS

@@ -165,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sparsify.add_argument("--backend", default="auto",
                             choices=["auto", "serial", "thread", "process"],
                             help="shard execution backend (default auto)")
+    p_sparsify.add_argument("--kernel-backend", default="reference",
+                            choices=["auto", "reference", "vectorized",
+                                     "numba"],
+                            help="hot-kernel implementation family; all "
+                                 "backends are bit-identical (default "
+                                 "reference)")
     p_sparsify.add_argument("--profile", action="store_true",
                             help="print the pipeline's per-stage "
                                  "timing/counter table (sharded runs "
@@ -198,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--check-every", type=int, default=1,
                           help="drift-check cadence in batches (default 1; "
                                "ignored with --resume)")
+    p_stream.add_argument("--kernel-backend", default="reference",
+                          choices=["auto", "reference", "vectorized",
+                                   "numba"],
+                          help="hot-kernel implementation family (default "
+                               "reference; ignored with --resume, which "
+                               "restores the checkpointed choice)")
     p_stream.add_argument("-o", "--output", default=None,
                           help="write the final sparsifier adjacency (.mtx)")
     p_stream.add_argument("--checkpoint-out", default=None,
@@ -278,7 +290,7 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
     result = sparsify_graph(
         graph, sigma2=args.sigma2, tree_method=args.tree, seed=args.seed,
         workers=args.workers, shard_max_nodes=args.shard_max_nodes,
-        backend=args.backend,
+        backend=args.backend, kernel_backend=args.kernel_backend,
     )
     write_matrix_market(
         args.output,
@@ -318,6 +330,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             graph, sigma2=args.sigma2, seed=args.seed,
             drift_tolerance=args.drift_tolerance,
             check_every=args.check_every,
+            kernel_backend=args.kernel_backend,
         )
         print(f"initial sparsifier: {dyn.num_edges} edges over "
               f"{graph.n} vertices (sigma2 estimate "

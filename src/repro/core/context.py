@@ -53,6 +53,12 @@ class PipelineContext:
     max_update_rank, amg_rebuild_every:
         The algorithm knobs, with the same semantics and defaults as
         :class:`~repro.sparsify.SimilarityAwareSparsifier`.
+    kernel_backend:
+        Hot-kernel implementation family (``"reference"``,
+        ``"vectorized"``, ``"numba"`` or ``"auto"``); resolved on
+        construction to a backend runnable in this environment (see
+        :func:`repro.kernels.registry.resolve_backend`).  Every
+        backend is bit-identical, so this knob changes speed only.
     initial_mask:
         Optional starting sparsifier mask (the §3.1(c) incremental
         improvement path).
@@ -92,6 +98,7 @@ class PipelineContext:
     solver_method: str = "auto"
     max_update_rank: int = 64
     amg_rebuild_every: int = 8
+    kernel_backend: str = "reference"
     initial_mask: np.ndarray | None = None
     tree_indices: np.ndarray | None = None
     state: object | None = None
@@ -118,6 +125,11 @@ class PipelineContext:
             )
         self.sigma2 = float(self.sigma2)
         self.rng = as_rng(self.rng)
+        # Deferred import: repro.kernels reaches back into the sparsify
+        # package, which imports repro.core at module level.
+        from repro.kernels.registry import resolve_backend
+
+        self.kernel_backend = resolve_backend(self.kernel_backend)
         if self.tree_indices is not None:
             self.tree_indices = np.asarray(self.tree_indices, dtype=np.int64)
 
@@ -179,6 +191,35 @@ class PipelineContext:
                 amg_rebuild_every=self.amg_rebuild_every,
             )
         return self.state
+
+    def kernel(self, name: str) -> dict | None:
+        """Run one registered hot kernel on this context's backend.
+
+        The kernel's wiring gathers its inputs from and writes its
+        outputs back to this context; stages dispatch their bodies
+        through this helper (``repro lint`` charges the dispatch with
+        the kernel's declared dataflow, see
+        :data:`repro.analysis.framework.KERNEL_DISPATCH_EFFECTS`).
+
+        Parameters
+        ----------
+        name:
+            A :data:`repro.kernels.registry.KERNELS` key (``"lsst"``,
+            ``"embedding"``, ``"filtering"``, ``"scoring"``).
+
+        Returns
+        -------
+        dict or None
+            The kernel wiring's profile counters.
+
+        Raises
+        ------
+        ValueError
+            If ``name`` is not a registered kernel.
+        """
+        from repro.kernels.registry import run_kernel
+
+        return run_kernel(self, name)
 
     def edge_cap(self) -> int:
         """Off-tree edges addable per densification iteration.

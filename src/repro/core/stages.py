@@ -1,11 +1,13 @@
 """The paper's loop as first-class pipeline stages.
 
-Stage bodies are the pre-refactor implementations lifted verbatim out
-of ``sparsify/similarity_aware.py`` and ``sparsify/densify.py`` (and
-the drift-repair copy formerly in ``stream/dynamic.py``) — the
-golden-parity suite in ``tests/core/test_golden_parity.py`` pins the
-produced masks and trees bit-identical to those originals for fixed
-seeds.  Mapping to the paper:
+The four hot stage bodies (tree, embedding, filter, similarity)
+dispatch through the kernel registry (``ctx.kernel(name)``, see
+:mod:`repro.kernels.registry`): the context's ``kernel_backend`` knob
+selects the implementation family, and the ``reference`` backend is
+the pre-refactor code unchanged — the golden-parity suite in
+``tests/core/test_golden_parity.py`` pins the produced masks and trees
+bit-identical to the originals for fixed seeds, for *every* backend.
+Mapping to the paper:
 
 =================  =====================================================
 Stage              Paper reference
@@ -28,18 +30,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.context import PipelineContext
 from repro.core.stage import Stage
 from repro.spectral.extreme import generalized_power_iteration
-from repro.trees.lsst import low_stretch_tree
 from repro.utils.timing import Timer
 
-# The sparsify kernels (edge_embedding, filtering, edge_similarity,
-# rescaling) are imported inside the stage bodies: repro.sparsify's
-# public modules are themselves pipeline consumers, so a module-level
-# import here would close an import cycle through the package __init__.
+# The sparsify kernels (rescaling) and the kernel registry are imported
+# inside the stage bodies: repro.sparsify's public modules are
+# themselves pipeline consumers, so a module-level import here would
+# close an import cycle through the package __init__.
 
 __all__ = [
     "DensifyIteration",
@@ -95,10 +94,7 @@ class TreeStage(Stage):
         dict
             ``{"edges": <backbone size>}``.
         """
-        ctx.tree_indices = low_stretch_tree(
-            ctx.graph, method=ctx.tree_method, seed=ctx.rng
-        )
-        return {"edges": int(ctx.tree_indices.size)}
+        return ctx.kernel("lsst")
 
 
 class EstimateStage(Stage):
@@ -150,28 +146,7 @@ class EmbeddingStage(Stage):
         dict
             ``{"off_tree": <candidates scored>, "probe_vectors": r}``.
         """
-        from repro.sparsify.edge_embedding import (
-            default_num_vectors,
-            joule_heats,
-        )
-
-        state = ctx.state
-        ctx.off_tree = np.flatnonzero(~state.edge_mask)
-        ctx.heats = joule_heats(
-            ctx.graph,
-            state.solver(),
-            ctx.off_tree,
-            t=ctx.t,
-            num_vectors=ctx.num_vectors,
-            seed=ctx.rng,
-            LG=state.host_laplacian,
-        )
-        probes = (
-            ctx.num_vectors
-            if ctx.num_vectors is not None
-            else default_num_vectors(ctx.graph.n)
-        )
-        return {"off_tree": int(ctx.off_tree.size), "probe_vectors": int(probes)}
+        return ctx.kernel("embedding")
 
 
 class FilterStage(Stage):
@@ -199,16 +174,7 @@ class FilterStage(Stage):
         dict
             ``{"candidates": <passing count>}``.
         """
-        from repro.sparsify.filtering import filter_edges, heat_threshold
-
-        ctx.lambda_min = ctx.state.lambda_min()
-        threshold = heat_threshold(
-            ctx.sigma2, ctx.lambda_min, ctx.lambda_max, t=ctx.t
-        )
-        decision = filter_edges(ctx.heats, threshold)
-        ctx.threshold = decision.threshold
-        ctx.candidates = ctx.off_tree[decision.passing]
-        return {"candidates": int(ctx.candidates.size)}
+        return ctx.kernel("filtering")
 
 
 class SimilarityStage(Stage):
@@ -231,16 +197,7 @@ class SimilarityStage(Stage):
         dict
             ``{"added": <edges added this pass>}``.
         """
-        from repro.sparsify.edge_similarity import select_dissimilar
-
-        ctx.added = select_dissimilar(
-            ctx.graph,
-            ctx.candidates,
-            max_edges=ctx.edge_cap(),
-            mode=ctx.similarity_mode,
-        )
-        ctx.state.add_edges(ctx.added)
-        return {"added": int(ctx.added.size)}
+        return ctx.kernel("scoring")
 
 
 class DensifyStage(Stage):

@@ -1,0 +1,42 @@
+"""Pluggable hot-path kernel backends for the sparsification pipeline.
+
+The registry (:mod:`repro.kernels.registry`) maps each hot kernel of
+the paper's filter loop — LSST construction, multi-RHS embedding,
+off-tree filtering, similarity scoring — to named backend
+implementations (``reference``, ``vectorized``, optional ``numba``),
+all pinned bit-identical by the differential parity harness in
+``tests/kernels``.  Stages dispatch through
+:meth:`repro.core.context.PipelineContext.kernel`; the backend is the
+``kernel_backend`` knob threaded through every public entry point.
+
+Importing this package imports the backend modules, which registers
+every implementation.
+"""
+
+from repro.kernels import registry  # noqa: F401
+from repro.kernels import reference  # noqa: F401
+from repro.kernels import vectorized  # noqa: F401
+from repro.kernels import numba_backend  # noqa: F401
+from repro.kernels.registry import (
+    BACKENDS,
+    HAS_NUMBA,
+    KERNELS,
+    Kernel,
+    available_backends,
+    kernel_impl,
+    register_impl,
+    resolve_backend,
+    run_kernel,
+)
+
+__all__ = [
+    "BACKENDS",
+    "HAS_NUMBA",
+    "KERNELS",
+    "Kernel",
+    "available_backends",
+    "kernel_impl",
+    "register_impl",
+    "resolve_backend",
+    "run_kernel",
+]

@@ -1,0 +1,160 @@
+"""``numba`` backend: JIT loops for the traversal-shaped kernels.
+
+The two kernels whose reference implementations are irreducibly
+sequential Python loops — the greedy endpoint-marking ``scoring``
+selection and the AKPW label-claim walk inside ``lsst`` — compile to
+tight machine loops under numba while keeping the *exact* sequential
+semantics, so parity with ``reference`` is structural rather than
+argued.  ``embedding`` and ``filtering`` are already whole-array numpy
+and register no numba variant; the registry's per-kernel fallback
+chain resolves them to ``vectorized`` automatically.
+
+numba is an optional dependency: when it is absent this module defines
+nothing, :func:`repro.kernels.registry.resolve_backend` degrades
+``"numba"`` requests to ``"vectorized"``, and nothing else changes —
+the CI ``backend-matrix`` job runs the parity suite both ways.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import HAS_NUMBA, register_impl
+from repro.kernels.vectorized import scoring as _vectorized_scoring
+from repro.trees.lsst import low_stretch_tree
+
+if HAS_NUMBA:  # pragma: no cover - exercised by the CI backend matrix
+    import numba
+
+    @numba.njit(cache=True)
+    def _greedy_endpoint(u, v, candidates, n, cap):
+        """The sequential endpoint-marking greedy loop, compiled."""
+        marked = np.zeros(n, dtype=np.bool_)
+        out = np.empty(min(cap, candidates.size), dtype=np.int64)
+        count = 0
+        for i in range(candidates.size):
+            if count >= cap:
+                break
+            e = candidates[i]
+            p = u[e]
+            q = v[e]
+            if marked[p] and marked[q]:
+                continue
+            marked[p] = True
+            marked[q] = True
+            out[count] = e
+            count += 1
+        return out[:count]
+
+    @numba.njit(cache=True)
+    def _chase_labels(pred, virtual):
+        """Chain roots of the Dijkstra predecessor forest, memoized."""
+        k = pred.size
+        labels = np.full(k, -1, dtype=np.int64)
+        stack = np.empty(k, dtype=np.int64)
+        for v in range(k):
+            if labels[v] >= 0:
+                continue
+            top = 0
+            x = v
+            while True:
+                p = pred[x]
+                if p == virtual or p < 0:
+                    root = x
+                    break
+                if labels[p] >= 0:
+                    root = labels[p]
+                    break
+                stack[top] = x
+                top += 1
+                x = p
+            labels[x] = root
+            for i in range(top):
+                labels[stack[i]] = root
+        return labels
+
+    def resolve_labels(dist, pred, virtual) -> np.ndarray:
+        """JIT label resolver plugged into the AKPW rounds.
+
+        Parameters
+        ----------
+        dist:
+            Shifted distances (unused; signature compatibility).
+        pred:
+            Dijkstra predecessors.
+        virtual:
+            Index of the virtual source node.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` cluster labels, identical to the claim loop.
+        """
+        return _chase_labels(np.asarray(pred, dtype=np.int64), int(virtual))
+
+    @register_impl("lsst", "numba")
+    def lsst(graph, *, method, seed) -> np.ndarray:
+        """§3.1(a) backbone with the JIT label resolver.
+
+        Parameters
+        ----------
+        graph:
+            Host graph.
+        method:
+            Backbone construction; the resolver only affects
+            ``"akpw"``.
+        seed:
+            Randomness for the stochastic constructions.
+
+        Returns
+        -------
+        numpy.ndarray
+            Sorted canonical tree edge indices.
+        """
+        return low_stretch_tree(graph, method=method, seed=seed,
+                                label_resolver=resolve_labels)
+
+    @register_impl("scoring", "numba")
+    def scoring(graph, candidates, *, max_edges, mode) -> np.ndarray:
+        """§3.7 step 6 selection via the compiled sequential loop.
+
+        ``"endpoint"`` runs the JIT loop; other modes delegate to the
+        ``vectorized`` implementation (which itself delegates the
+        adjacency-marking ``"neighborhood"`` mode to ``reference``).
+
+        Parameters
+        ----------
+        graph:
+            Host graph (supplies endpoints).
+        candidates:
+            Canonical edge indices in decreasing-criticality order.
+        max_edges:
+            Cap on the number of selected edges.
+        mode:
+            ``"endpoint"``, ``"neighborhood"`` or ``"none"``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Selected canonical edge indices, identical to
+            ``reference``.
+
+        Raises
+        ------
+        ValueError
+            If ``max_edges`` is negative or ``mode`` is unknown.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if max_edges is not None and max_edges < 0:
+            raise ValueError(f"max_edges must be >= 0, got {max_edges}")
+        if mode != "endpoint":
+            return _vectorized_scoring(graph, candidates,
+                                       max_edges=max_edges, mode=mode)
+        cap = candidates.size if max_edges is None else int(max_edges)
+        if cap == 0 or candidates.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return _greedy_endpoint(
+            np.asarray(graph.u, dtype=np.int64),
+            np.asarray(graph.v, dtype=np.int64),
+            candidates, int(graph.n), cap,
+        )

@@ -1,0 +1,125 @@
+"""``reference`` backend: the pre-kernel implementations, unchanged.
+
+These are thin adapters over the original hot-path functions
+(:mod:`repro.trees.lsst`, :mod:`repro.sparsify.edge_embedding`,
+:mod:`repro.sparsify.filtering`, :mod:`repro.sparsify.edge_similarity`)
+— exactly the code every pipeline ran before the kernel registry
+existed.  The differential parity harness in ``tests/kernels`` pins
+every other backend bit-identical to this one.
+
+The sparsify modules are imported inside the function bodies:
+``repro.sparsify``'s public modules are pipeline consumers, so a
+module-level import here would close an import cycle through the
+package ``__init__`` (the same idiom as ``repro.core.stages``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import register_impl
+from repro.trees.lsst import low_stretch_tree
+
+
+@register_impl("lsst", "reference")
+def lsst(graph, *, method, seed) -> np.ndarray:
+    """§3.1(a): spanning-tree backbone via the original dispatcher.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    method:
+        Backbone construction (``"akpw"``/``"spt"``/``"maxw"``/
+        ``"random"``).
+    seed:
+        Randomness for the stochastic constructions.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted canonical tree edge indices.
+    """
+    return low_stretch_tree(graph, method=method, seed=seed)
+
+
+@register_impl("embedding", "reference")
+def embedding(graph, solver, off_tree, *, t, num_vectors, seed,
+              LG) -> np.ndarray:
+    """§3.2: t-step Joule heats via the original embedding path.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    solver:
+        Callable applying the sparsifier's ``L_P⁺``.
+    off_tree:
+        Canonical indices of the off-tree edges to score.
+    t, num_vectors, seed, LG:
+        Power-iteration parameters (see
+        :func:`repro.sparsify.edge_embedding.power_iterate`).
+
+    Returns
+    -------
+    numpy.ndarray
+        Heat per off-tree edge, aligned with ``off_tree``.
+    """
+    from repro.sparsify.edge_embedding import joule_heats
+
+    return joule_heats(graph, solver, off_tree, t=t,
+                       num_vectors=num_vectors, seed=seed, LG=LG)
+
+
+@register_impl("filtering", "reference")
+def filtering(heats, *, sigma2, lambda_min, lambda_max, t) -> tuple:
+    """§3.5: θ_σ threshold plus passing candidate positions.
+
+    Parameters
+    ----------
+    heats:
+        Raw Joule heats of the candidate edges.
+    sigma2:
+        Similarity target σ².
+    lambda_min, lambda_max:
+        Extreme generalized eigenvalue estimates.
+    t:
+        Power-iteration steps used by the embedding.
+
+    Returns
+    -------
+    tuple
+        ``(threshold, passing)`` — θ_σ and the positions (into
+        ``heats``) that pass, sorted by decreasing normalized heat.
+    """
+    from repro.sparsify.filtering import filter_edges, heat_threshold
+
+    threshold = heat_threshold(sigma2, lambda_min, lambda_max, t=t)
+    decision = filter_edges(heats, threshold)
+    return decision.threshold, decision.passing
+
+
+@register_impl("scoring", "reference")
+def scoring(graph, candidates, *, max_edges, mode) -> np.ndarray:
+    """§3.7 step 6: the original greedy dissimilarity selection.
+
+    Parameters
+    ----------
+    graph:
+        Host graph (supplies endpoints and adjacency).
+    candidates:
+        Canonical edge indices in decreasing-criticality order.
+    max_edges:
+        Cap on the number of selected edges.
+    mode:
+        ``"endpoint"``, ``"neighborhood"`` or ``"none"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Selected canonical edge indices in processing order.
+    """
+    from repro.sparsify.edge_similarity import select_dissimilar
+
+    return select_dissimilar(graph, candidates, max_edges=max_edges,
+                             mode=mode)

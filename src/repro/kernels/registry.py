@@ -1,0 +1,343 @@
+"""Registry and dispatcher of the pipeline's hot-path kernels.
+
+`PipelineProfile` (PR 5) shows the filter loop spends nearly all its
+time in four stage kernels — LSST construction, the multi-RHS embedding
+solve, off-tree heat filtering, and similarity scoring.  This module
+gives each of them a *named backend*:
+
+``reference``
+    The pre-existing implementations, unchanged, now reached through
+    the registry (the parity baseline).
+``vectorized``
+    Fully numpy-vectorized rewrites of the Python inner loops
+    (:mod:`repro.kernels.vectorized`), bit-identical to ``reference``.
+``numba``
+    Optional JIT loops for the traversal-shaped kernels
+    (:mod:`repro.kernels.numba_backend`); silently resolves to
+    ``vectorized`` when numba is not installed.
+
+Each :class:`Kernel` couples a backend-independent *wiring* callable —
+which gathers inputs from a :class:`~repro.core.context.PipelineContext`,
+invokes the selected pure implementation and writes the outputs back —
+with the per-backend implementations registered by the backend modules
+via :func:`register_impl`.  Stages dispatch with ``ctx.kernel(name)``;
+the ``repro lint`` contract rules understand that call through
+:data:`repro.analysis.framework.KERNEL_DISPATCH_EFFECTS`, which a test
+cross-checks against the ``reads``/``writes`` declared here.
+
+Backend resolution is per-kernel: a backend that does not implement a
+kernel falls back along ``numba -> vectorized -> reference``, so every
+kernel always runs and ``reference`` is the universal floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "HAS_NUMBA",
+    "KERNELS",
+    "Kernel",
+    "available_backends",
+    "kernel_impl",
+    "register_impl",
+    "resolve_backend",
+    "run_kernel",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the common container state
+    HAS_NUMBA = False
+
+#: Every selectable backend name, in fallback order (``"auto"`` is
+#: accepted by :func:`resolve_backend` but is not itself a backend).
+BACKENDS = ("reference", "vectorized", "numba")
+
+#: Per-kernel fallback chain: a backend missing an implementation
+#: delegates to the next cheaper one; ``reference`` is the floor.
+_FALLBACK = {"numba": "vectorized", "vectorized": "reference"}
+
+#: ``(kernel name, backend name) -> pure implementation`` — populated
+#: by the backend modules at import time via :func:`register_impl`.
+_IMPLS: dict = {}
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One hot-path kernel: contract metadata plus context wiring.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also the ``ctx.kernel(name)`` dispatch token.
+    paper:
+        Paper section the kernel implements (documentation anchor).
+    reads, writes:
+        Context names the wiring reads and writes — the dataflow the
+        ``repro lint`` stage-contract rules charge to a dispatching
+        stage (cross-checked against
+        :data:`repro.analysis.framework.KERNEL_DISPATCH_EFFECTS`).
+    wiring:
+        ``(ctx, impl) -> counters`` — gathers inputs from the context,
+        runs the backend implementation, writes outputs back and
+        returns the stage's profile counters.
+    """
+
+    name: str
+    paper: str
+    reads: tuple
+    writes: tuple
+    wiring: Callable
+
+
+def register_impl(kernel: str, backend: str) -> Callable:
+    """Decorator registering one backend implementation of a kernel.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel name (must be a :data:`KERNELS` key).
+    backend:
+        Backend name (must be in :data:`BACKENDS`).
+
+    Returns
+    -------
+    Callable
+        A decorator storing the function in the implementation table.
+
+    Raises
+    ------
+    ValueError
+        If the kernel or backend name is unknown, or the slot is
+        already taken.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of "
+                         f"{tuple(sorted(KERNELS))}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of "
+                         f"{BACKENDS}")
+
+    def decorate(fn: Callable) -> Callable:
+        if (kernel, backend) in _IMPLS:
+            raise ValueError(
+                f"duplicate implementation for kernel {kernel!r} "
+                f"backend {backend!r}"
+            )
+        _IMPLS[(kernel, backend)] = fn
+        return fn
+
+    return decorate
+
+
+def resolve_backend(name: str) -> str:
+    """Map a requested backend name to the one that will actually run.
+
+    Parameters
+    ----------
+    name:
+        ``"auto"``, or one of :data:`BACKENDS`.  ``"auto"`` selects
+        ``"numba"`` when numba is importable and ``"vectorized"``
+        otherwise; requesting ``"numba"`` without numba installed
+        degrades to ``"vectorized"`` rather than failing.
+
+    Returns
+    -------
+    str
+        A concrete, runnable backend name.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is neither ``"auto"`` nor a known backend.
+    """
+    if name == "auto":
+        return "numba" if HAS_NUMBA else "vectorized"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected 'auto' or one of "
+            f"{BACKENDS}"
+        )
+    if name == "numba" and not HAS_NUMBA:
+        return "vectorized"
+    return name
+
+
+def available_backends() -> tuple:
+    """The backends that can run in this environment.
+
+    Returns
+    -------
+    tuple
+        ``("reference", "vectorized")`` plus ``"numba"`` when numba is
+        importable.
+    """
+    return tuple(b for b in BACKENDS if b != "numba" or HAS_NUMBA)
+
+
+def kernel_impl(name: str, backend: str) -> Callable:
+    """The implementation that a backend resolves to for one kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel name.
+    backend:
+        Requested backend (``"auto"`` accepted); walked down the
+        fallback chain until an implementation is found.
+
+    Returns
+    -------
+    Callable
+        The pure kernel implementation.
+
+    Raises
+    ------
+    ValueError
+        If the kernel name is unknown.
+    LookupError
+        If no implementation exists along the whole fallback chain
+        (impossible while ``reference`` registers every kernel).
+    """
+    if name not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; expected one of "
+                         f"{tuple(sorted(KERNELS))}")
+    candidate: str | None = resolve_backend(backend)
+    while candidate is not None:
+        fn = _IMPLS.get((name, candidate))
+        if fn is not None:
+            return fn
+        candidate = _FALLBACK.get(candidate)
+    raise LookupError(f"no implementation registered for kernel {name!r}")
+
+
+def run_kernel(ctx, name: str):
+    """Dispatch one kernel against a pipeline context.
+
+    Parameters
+    ----------
+    ctx:
+        A :class:`~repro.core.context.PipelineContext`; its
+        ``kernel_backend`` selects the implementation.
+    name:
+        Kernel name.
+
+    Returns
+    -------
+    dict or None
+        The wiring's profile counters.
+
+    Raises
+    ------
+    ValueError
+        If the kernel name is unknown.
+    """
+    if name not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; expected one of "
+                         f"{tuple(sorted(KERNELS))}")
+    kernel = KERNELS[name]
+    impl = kernel_impl(name, ctx.kernel_backend)
+    return kernel.wiring(ctx, impl)
+
+
+def _wire_lsst(ctx, impl) -> dict:
+    """Build the spanning-tree backbone onto ``ctx.tree_indices``."""
+    ctx.tree_indices = impl(ctx.graph, method=ctx.tree_method, seed=ctx.rng)
+    return {"edges": int(ctx.tree_indices.size)}
+
+
+def _wire_embedding(ctx, impl) -> dict:
+    """Score off-tree edges: ``ctx.off_tree`` and ``ctx.heats``."""
+    from repro.sparsify.edge_embedding import default_num_vectors
+
+    state = ctx.state
+    ctx.off_tree = np.flatnonzero(~state.edge_mask)
+    ctx.heats = impl(
+        ctx.graph,
+        state.solver(),
+        ctx.off_tree,
+        t=ctx.t,
+        num_vectors=ctx.num_vectors,
+        seed=ctx.rng,
+        LG=state.host_laplacian,
+    )
+    probes = (
+        ctx.num_vectors
+        if ctx.num_vectors is not None
+        else default_num_vectors(ctx.graph.n)
+    )
+    return {"off_tree": int(ctx.off_tree.size), "probe_vectors": int(probes)}
+
+
+def _wire_filtering(ctx, impl) -> dict:
+    """θ_σ-threshold the heats into ``ctx.candidates``.
+
+    ``lambda_min`` is refreshed from the state's cached degrees so the
+    threshold always reflects the sparsifier as embedded (a no-op
+    repeat in the batch cadence, the live value in the streaming drift
+    cadence).
+    """
+    ctx.lambda_min = ctx.state.lambda_min()
+    threshold, passing = impl(
+        ctx.heats,
+        sigma2=ctx.sigma2,
+        lambda_min=ctx.lambda_min,
+        lambda_max=ctx.lambda_max,
+        t=ctx.t,
+    )
+    ctx.threshold = float(threshold)
+    ctx.candidates = ctx.off_tree[passing]
+    return {"candidates": int(ctx.candidates.size)}
+
+
+def _wire_scoring(ctx, impl) -> dict:
+    """Select dissimilar candidates and grow the sparsifier state."""
+    ctx.added = impl(
+        ctx.graph,
+        ctx.candidates,
+        max_edges=ctx.edge_cap(),
+        mode=ctx.similarity_mode,
+    )
+    ctx.state.add_edges(ctx.added)
+    return {"added": int(ctx.added.size)}
+
+
+#: Every hot kernel, keyed by its ``ctx.kernel(name)`` dispatch token.
+KERNELS = {
+    "lsst": Kernel(
+        name="lsst",
+        paper="§3.1(a) spanning-tree backbone",
+        reads=("graph", "rng", "tree_method"),
+        writes=("tree_indices",),
+        wiring=_wire_lsst,
+    ),
+    "embedding": Kernel(
+        name="embedding",
+        paper="§3.2 t-step Joule heats (Eqs. 6, 12)",
+        reads=("state", "rng", "graph", "t", "num_vectors"),
+        writes=("off_tree", "heats"),
+        wiring=_wire_embedding,
+    ),
+    "filtering": Kernel(
+        name="filtering",
+        paper="§3.5 off-tree filtering with θ_σ (Eq. 15)",
+        reads=("state", "off_tree", "heats", "lambda_max", "sigma2", "t"),
+        writes=("threshold", "candidates", "lambda_min"),
+        wiring=_wire_filtering,
+    ),
+    "scoring": Kernel(
+        name="scoring",
+        paper="§3.7 step 6 dissimilarity selection",
+        reads=("state", "graph", "candidates", "similarity_mode",
+               "max_edges_per_iteration"),
+        writes=("added",),
+        wiring=_wire_scoring,
+    ),
+}

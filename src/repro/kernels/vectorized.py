@@ -1,0 +1,313 @@
+"""``vectorized`` backend: numpy rewrites of the hot inner loops.
+
+Every implementation here is **bit-identical** to ``reference`` — the
+differential parity harness in ``tests/kernels`` enforces it — while
+replacing the per-element Python loops with whole-array work:
+
+``scoring``
+    The greedy endpoint-marking selection is a sequential recurrence
+    (each decision depends on the marks of earlier selections).  It is
+    resolved in *rounds*: an active edge is **definitely skipped** once
+    both endpoints carry a mark from a definitely-selected earlier
+    edge, and **definitely selected** when it is the earliest possible
+    toucher of at least one of its endpoints (no earlier active or
+    selected edge can mark that endpoint first).  Both rules are sound
+    with respect to the sequential semantics, and the earliest active
+    edge is always decided, so the rounds terminate with exactly the
+    reference selection.  A positional cap is honoured by deciding
+    windows of candidates and truncating, which cannot change the
+    decisions of earlier positions.
+``lsst``
+    The AKPW label-claim loop (assigning every cluster to the root of
+    its Dijkstra predecessor chain) becomes pointer doubling — an
+    integer fixpoint, exact by construction.
+``embedding``
+    The batched multi-RHS power iteration is shared with ``reference``
+    (identical RNG draws); the per-edge heat gather uses ``np.take``
+    and an in-place subtraction, which reproduces ``H[u] - H[v]``
+    bit-for-bit.
+``filtering``
+    Same floating-point operation sequence as ``reference`` (divide by
+    max, compare, stable sort) without materializing the intermediate
+    ``FilterDecision``.
+
+The sparsify modules are imported inside function bodies to avoid the
+documented import cycle through ``repro.sparsify.__init__``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import reference as _reference
+from repro.kernels.registry import register_impl
+from repro.trees.lsst import low_stretch_tree
+
+
+def resolve_labels(dist: np.ndarray, pred: np.ndarray,
+                   virtual: int) -> np.ndarray:
+    """Pointer-doubling replacement for the AKPW label-claim loop.
+
+    The reference loop walks clusters in increasing shifted distance and
+    copies each cluster's label from its Dijkstra predecessor — i.e.
+    every cluster ends up labelled by the root of its predecessor
+    chain.  Chasing the chains by repeated squaring computes the same
+    roots without any ordering, so the result is exactly the reference
+    labelling (``dist`` is accepted for signature compatibility only).
+
+    Parameters
+    ----------
+    dist:
+        Shifted shortest-path distances (unused).
+    pred:
+        Dijkstra predecessors; the virtual source and negative entries
+        terminate chains.
+    virtual:
+        Index of the virtual source node.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` cluster labels, identical to the sequential claim
+        loop.
+    """
+    parent = np.arange(pred.size, dtype=np.int64)
+    follow = (pred >= 0) & (pred != virtual)
+    parent[follow] = pred[follow]
+    while True:
+        grand = parent[parent]
+        if np.array_equal(grand, parent):
+            return grand
+        parent = grand
+
+
+@register_impl("lsst", "vectorized")
+def lsst(graph, *, method, seed) -> np.ndarray:
+    """§3.1(a) backbone with the pointer-doubling label resolver.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    method:
+        Backbone construction (``"akpw"``/``"spt"``/``"maxw"``/
+        ``"random"``); the resolver only affects ``"akpw"``.
+    seed:
+        Randomness for the stochastic constructions.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted canonical tree edge indices.
+    """
+    return low_stretch_tree(graph, method=method, seed=seed,
+                            label_resolver=resolve_labels)
+
+
+@register_impl("embedding", "vectorized")
+def embedding(graph, solver, off_tree, *, t, num_vectors, seed,
+              LG) -> np.ndarray:
+    """§3.2 Joule heats with a ``np.take``-based edge gather.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    solver:
+        Callable applying the sparsifier's ``L_P⁺``.
+    off_tree:
+        Canonical indices of the off-tree edges to score.
+    t, num_vectors, seed, LG:
+        Power-iteration parameters (see
+        :func:`repro.sparsify.edge_embedding.power_iterate`).
+
+    Returns
+    -------
+    numpy.ndarray
+        Heat per off-tree edge, aligned with ``off_tree``.
+    """
+    from repro.sparsify.edge_embedding import power_iterate
+
+    H = power_iterate(graph, solver, t=t, num_vectors=num_vectors,
+                      seed=seed, LG=LG)
+    u = np.take(graph.u, off_tree)
+    v = np.take(graph.v, off_tree)
+    w = np.take(graph.w, off_tree)
+    diffs = np.take(H, u, axis=0)
+    diffs -= np.take(H, v, axis=0)
+    return w * np.einsum("ij,ij->i", diffs, diffs)
+
+
+@register_impl("filtering", "vectorized")
+def filtering(heats, *, sigma2, lambda_min, lambda_max, t) -> tuple:
+    """§3.5 filtering without the intermediate decision object.
+
+    Parameters
+    ----------
+    heats:
+        Raw Joule heats of the candidate edges.
+    sigma2:
+        Similarity target σ².
+    lambda_min, lambda_max:
+        Extreme generalized eigenvalue estimates.
+    t:
+        Power-iteration steps used by the embedding.
+
+    Returns
+    -------
+    tuple
+        ``(threshold, passing)`` — exactly the reference pair: θ_σ and
+        the positions that pass, sorted by decreasing normalized heat.
+    """
+    from repro.sparsify.filtering import heat_threshold
+
+    threshold = heat_threshold(sigma2, lambda_min, lambda_max, t=t)
+    heats = np.asarray(heats, dtype=np.float64)
+    if threshold >= 1.0 or heats.size == 0:
+        return float(threshold), np.zeros(0, dtype=np.int64)
+    maximum = float(heats.max())
+    if maximum <= 0.0:
+        # All-zero heats can never meet a positive θ_σ (the reference
+        # normalizer returns zeros and nothing passes).
+        return float(threshold), np.zeros(0, dtype=np.int64)
+    norm = heats / maximum
+    passing = np.flatnonzero(norm >= threshold)
+    passing = passing[np.argsort(-norm[passing], kind="stable")]
+    return float(threshold), passing
+
+
+def _first_touch(scratch: np.ndarray, kp: np.ndarray, kq: np.ndarray,
+                 kpos: np.ndarray) -> np.ndarray:
+    """First active position touching each node of the round.
+
+    Endpoint/position pairs are interleaved so positions are globally
+    non-decreasing, then assigned in reverse — duplicate-index fancy
+    assignment keeps the *last* write, i.e. the smallest position.
+    Only entries for nodes in ``kp``/``kq`` are defined; the rest of
+    ``scratch`` is stale by design (never read).
+    """
+    nodes = np.empty(2 * kp.size, dtype=np.int64)
+    nodes[0::2] = kp
+    nodes[1::2] = kq
+    pos = np.empty(2 * kp.size, dtype=np.int64)
+    pos[0::2] = kpos
+    pos[1::2] = kpos
+    scratch[nodes[::-1]] = pos[::-1]
+    return scratch
+
+
+def _decide_window(p: np.ndarray, q: np.ndarray, positions: np.ndarray,
+                   mark_pos: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """Fully decide one window of candidates; returns selected rows.
+
+    ``mark_pos`` maps each node to the smallest candidate position of a
+    definitely-selected edge touching it (the sentinel ``m`` when
+    untouched) and is updated in place as selections become definite.
+    """
+    active = np.arange(p.size)
+    sel = np.zeros(p.size, dtype=bool)
+    while active.size:
+        ap = p[active]
+        aq = q[active]
+        apos = positions[active]
+        # Definitely skipped: both endpoints marked by earlier
+        # definite selections (exactly the sequential skip rule).
+        skip = (mark_pos[ap] < apos) & (mark_pos[aq] < apos)
+        keep = active[~skip]
+        if keep.size == 0:
+            break
+        kp = p[keep]
+        kq = q[keep]
+        kpos = positions[keep]
+        touch = _first_touch(scratch, kp, kq, kpos)
+        fp = np.minimum(touch[kp], mark_pos[kp])
+        fq = np.minimum(touch[kq], mark_pos[kq])
+        # Definitely selected: earliest possible toucher of at least
+        # one endpoint — no earlier edge can mark it first, so the
+        # sequential pass finds that endpoint unmarked.
+        chosen = (fp == kpos) | (fq == kpos)
+        new = keep[chosen]
+        sel[new] = True
+        npos = positions[new]
+        nodes = np.empty(2 * new.size, dtype=np.int64)
+        nodes[0::2] = p[new]
+        nodes[1::2] = q[new]
+        pos2 = np.empty(2 * new.size, dtype=np.int64)
+        pos2[0::2] = npos
+        pos2[1::2] = npos
+        nodes = nodes[::-1]
+        pos2 = pos2[::-1]
+        mark_pos[nodes] = np.minimum(mark_pos[nodes], pos2)
+        active = keep[~chosen]
+    return sel
+
+
+@register_impl("scoring", "vectorized")
+def scoring(graph, candidates, *, max_edges, mode) -> np.ndarray:
+    """§3.7 step 6 greedy dissimilarity selection, in rounds.
+
+    ``"endpoint"`` mode runs the round-based exact replay of the
+    sequential greedy loop described in the module docstring;
+    ``"neighborhood"`` (adjacency marking is irregular and rarely used)
+    delegates to ``reference``; ``"none"`` is a plain slice.
+
+    Parameters
+    ----------
+    graph:
+        Host graph (supplies endpoints).
+    candidates:
+        Canonical edge indices in decreasing-criticality order.
+    max_edges:
+        Cap on the number of selected edges.
+    mode:
+        ``"endpoint"``, ``"neighborhood"`` or ``"none"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Selected canonical edge indices, identical to ``reference``.
+
+    Raises
+    ------
+    ValueError
+        If ``max_edges`` is negative or ``mode`` is unknown.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if max_edges is not None and max_edges < 0:
+        raise ValueError(f"max_edges must be >= 0, got {max_edges}")
+    if mode == "none":
+        if max_edges is not None:
+            return candidates[:max_edges]
+        return candidates
+    if mode == "neighborhood":
+        return _reference.scoring(graph, candidates, max_edges=max_edges,
+                                  mode=mode)
+    if mode != "endpoint":
+        raise ValueError(f"unknown similarity mode {mode!r}")
+    m = candidates.size
+    cap = m if max_edges is None else int(max_edges)
+    if cap == 0 or m == 0:
+        return np.zeros(0, dtype=np.int64)
+    mark_pos = np.full(graph.n, m, dtype=np.int64)
+    scratch = np.empty(graph.n, dtype=np.int64)
+    window = m if cap >= m else max(4 * cap, 1024)
+    parts = []
+    total = 0
+    start = 0
+    while start < m and total < cap:
+        stop = min(start + window, m)
+        chunk = candidates[start:stop]
+        positions = np.arange(start, stop, dtype=np.int64)
+        sel = _decide_window(
+            np.take(graph.u, chunk).astype(np.int64, copy=False),
+            np.take(graph.v, chunk).astype(np.int64, copy=False),
+            positions, mark_pos, scratch,
+        )
+        chosen = chunk[sel]
+        take = min(cap - total, chosen.size)
+        parts.append(chosen[:take])
+        total += take
+        start = stop
+    if parts:
+        return np.concatenate(parts).astype(np.int64, copy=False)
+    return np.zeros(0, dtype=np.int64)

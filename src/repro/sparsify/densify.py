@@ -94,6 +94,7 @@ def densify(
     initial_mask: np.ndarray | None = None,
     max_update_rank: int = 64,
     amg_rebuild_every: int = 8,
+    kernel_backend: str = "reference",
 ) -> DensifyResult:
     """Run the Section-3.7 densification loop until σ² is reached.
 
@@ -137,6 +138,11 @@ def densify(
     amg_rebuild_every:
         Update batches an AMG hierarchy absorbs in place before it is
         re-coarsened (see :class:`~repro.solvers.amg.AMGSolver`).
+    kernel_backend:
+        Hot-kernel implementation family (``"reference"``,
+        ``"vectorized"``, ``"numba"``, ``"auto"``); every backend is
+        bit-identical, so this changes speed only (see
+        :mod:`repro.kernels.registry`).
 
     Returns
     -------
@@ -161,6 +167,7 @@ def densify(
         solver_method=solver_method,
         max_update_rank=max_update_rank,
         amg_rebuild_every=amg_rebuild_every,
+        kernel_backend=kernel_backend,
         initial_mask=initial_mask,
         tree_indices=np.asarray(tree_indices, dtype=np.int64),
     )

@@ -161,6 +161,12 @@ class SimilarityAwareSparsifier:
         AMG hierarchy absorbs in place (fine-level value patches, coarse
         grids kept) before it is re-coarsened from the current
         sparsifier Laplacian.
+    kernel_backend:
+        Hot-kernel implementation family: ``"reference"`` (default),
+        ``"vectorized"``, ``"numba"`` (degrades to vectorized when
+        numba is absent) or ``"auto"`` (fastest available).  All
+        backends are bit-identical (``tests/kernels`` parity suite),
+        so this knob changes speed only.
     rescale:
         Optional terminal re-scaling stage: ``None`` (default, keep
         original weights as the paper does), ``"similarity"`` (global
@@ -194,6 +200,7 @@ class SimilarityAwareSparsifier:
         solver_method: str = "auto",
         max_update_rank: int = 64,
         amg_rebuild_every: int = 8,
+        kernel_backend: str = "reference",
         rescale: str | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
@@ -204,6 +211,9 @@ class SimilarityAwareSparsifier:
                 f"unknown rescale scheme {rescale!r}; expected None, "
                 "'similarity' or 'off_tree'"
             )
+        from repro.kernels.registry import resolve_backend
+
+        resolve_backend(kernel_backend)  # validate eagerly; keep the request
         self.sigma2 = float(sigma2)
         self.tree_method = tree_method
         self.t = t
@@ -215,6 +225,7 @@ class SimilarityAwareSparsifier:
         self.solver_method = solver_method
         self.max_update_rank = max_update_rank
         self.amg_rebuild_every = amg_rebuild_every
+        self.kernel_backend = kernel_backend
         self.rescale = rescale
         self.seed = seed
 
@@ -265,6 +276,7 @@ class SimilarityAwareSparsifier:
             solver_method=self.solver_method,
             max_update_rank=self.max_update_rank,
             amg_rebuild_every=self.amg_rebuild_every,
+            kernel_backend=self.kernel_backend,
         )
 
     def sparsify(self, graph: Graph, check_connected: bool = True) -> SparsifyResult:
@@ -419,10 +431,13 @@ def sparsify_graph(
         Optional cap on shard sizes; oversized components are split
         along Fiedler sign cuts.
     backend:
-        Shard execution backend (``"auto"``, ``"serial"``, ``"thread"``,
-        ``"process"``); ignored on unsharded runs.
+        Shard *execution* backend (``"auto"``, ``"serial"``,
+        ``"thread"``, ``"process"``); ignored on unsharded runs.  Not
+        to be confused with ``kernel_backend``, which selects the
+        hot-kernel implementations and is accepted via ``options``.
     options:
-        Remaining :class:`SimilarityAwareSparsifier` parameters.
+        Remaining :class:`SimilarityAwareSparsifier` parameters
+        (including ``kernel_backend=``, which flows to every shard).
 
     Returns
     -------

@@ -115,6 +115,7 @@ def save_dynamic(path: str | Path, dyn: DynamicSparsifier) -> tuple[Path, Path]:
             "max_update_rank": dyn.max_update_rank,
             "amg_rebuild_every": dyn.amg_rebuild_every,
             "power_iterations": dyn.power_iterations,
+            "kernel_backend": dyn.kernel_backend,
             "densify_options": dyn._densify_options,
         },
         "counters": {
@@ -178,6 +179,7 @@ def load_dynamic(path: str | Path) -> DynamicSparsifier:
         max_update_rank=config["max_update_rank"],
         amg_rebuild_every=config["amg_rebuild_every"],
         power_iterations=config["power_iterations"],
+        kernel_backend=config.get("kernel_backend", "reference"),
         densify_options=config["densify_options"],
         _defer_init=True,
     )

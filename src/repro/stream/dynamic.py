@@ -240,6 +240,13 @@ class DynamicSparsifier:
         Update batches an AMG hierarchy absorbs before re-coarsening.
     power_iterations:
         Generalized power iterations per drift check.
+    kernel_backend:
+        Hot-kernel implementation family for the initial build and
+        every drift repair (``"reference"``, ``"vectorized"``,
+        ``"numba"``, ``"auto"``); bit-identical across backends, so
+        replay and checkpoint parity are backend-independent.  The
+        *requested* name is checkpointed and re-resolved on restore,
+        so a checkpoint written on a numba machine loads anywhere.
     seed:
         Randomness for the initial sparsification and all repairs.
     densify_options:
@@ -273,6 +280,7 @@ class DynamicSparsifier:
         max_update_rank: int = 64,
         amg_rebuild_every: int = 8,
         power_iterations: int = 10,
+        kernel_backend: str = "reference",
         seed: int | np.random.Generator | None = None,
         densify_options: dict | None = None,
         _defer_init: bool = False,
@@ -287,6 +295,9 @@ class DynamicSparsifier:
             raise ValueError(f"check_every must be >= 1, got {check_every}")
         if solver_method not in _SOLVER_METHODS:
             raise ValueError(f"unknown solver method {solver_method!r}")
+        from repro.kernels.registry import resolve_backend
+
+        resolve_backend(kernel_backend)  # validate; keep the request
         self.sigma2 = float(sigma2)
         self.tree_method = tree_method
         self.drift_tolerance = float(drift_tolerance)
@@ -297,6 +308,7 @@ class DynamicSparsifier:
         self.max_update_rank = int(max_update_rank)
         self.amg_rebuild_every = int(amg_rebuild_every)
         self.power_iterations = int(power_iterations)
+        self.kernel_backend = kernel_backend
         self._densify_options = dict(densify_options or {})
         unknown = set(self._densify_options) - set(_DENSIFY_OPTION_KEYS)
         if unknown:
@@ -398,6 +410,7 @@ class DynamicSparsifier:
             max_update_rank=self.max_update_rank,
             amg_rebuild_every=self.amg_rebuild_every,
             power_iterations=self.power_iterations,
+            kernel_backend=self.kernel_backend,
             tree_indices=(
                 self.tree_indices if state is not None else None
             ),

@@ -24,7 +24,42 @@ from repro.graphs.components import is_connected
 from repro.trees.spanning import DisjointSet, minimum_spanning_tree
 from repro.utils.rng import as_rng
 
-__all__ = ["akpw", "shortest_path_tree", "low_stretch_tree"]
+__all__ = ["akpw", "claim_labels", "shortest_path_tree", "low_stretch_tree"]
+
+
+def claim_labels(
+    dist: np.ndarray, pred: np.ndarray, virtual: int
+) -> np.ndarray:
+    """Assign every cluster to its claiming center (reference loop).
+
+    Clusters are walked in increasing shifted distance, which
+    guarantees predecessors are labelled before their successors —
+    every cluster therefore inherits the label of the root of its
+    Dijkstra predecessor chain.  This is the sequential reference
+    implementation; the kernel backends substitute order-free
+    equivalents (pointer doubling, JIT chain chasing) through the
+    ``label_resolver`` hooks below.
+
+    Parameters
+    ----------
+    dist:
+        Shifted shortest-path distances from the virtual source.
+    pred:
+        Dijkstra predecessors; the virtual source and negative entries
+        terminate chains.
+    virtual:
+        Index of the virtual source node.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` cluster labels (the claiming center per cluster).
+    """
+    labels = -np.ones(pred.size, dtype=np.int64)
+    for v in np.argsort(dist, kind="stable"):
+        p = pred[v]
+        labels[v] = v if p == virtual or p < 0 else labels[p]
+    return labels
 
 
 def _dedupe_cluster_edges(
@@ -53,6 +88,7 @@ def _shifted_shortest_path_round(
     active: np.ndarray,
     scale: float,
     rng: np.random.Generator,
+    label_resolver=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One MPX decomposition round over the active cluster edges.
 
@@ -77,12 +113,7 @@ def _shifted_shortest_path_round(
     )
     dist, pred = dist[:k], pred[:k]
 
-    # Claim order: increasing distance guarantees predecessors are labelled
-    # before their successors.
-    labels = -np.ones(k, dtype=np.int64)
-    for v in np.argsort(dist, kind="stable"):
-        p = pred[v]
-        labels[v] = v if p == virtual or p < 0 else labels[p]
+    labels = (label_resolver or claim_labels)(dist, pred, virtual)
 
     # Forest edges: (pred[v], v) for non-center claimed clusters.
     claimed = np.flatnonzero((pred != virtual) & (pred >= 0))
@@ -137,6 +168,7 @@ def akpw(
     graph: Graph,
     seed: int | np.random.Generator | None = None,
     scale_factor: float = 4.0,
+    label_resolver=None,
 ) -> np.ndarray:
     """AKPW-style low-stretch spanning tree; returns canonical edge indices.
 
@@ -150,6 +182,10 @@ def akpw(
         Geometric growth of the length scale between rounds (the paper's
         LSST references use a large theoretical base; 4 works well in
         practice and keeps the number of rounds logarithmic).
+    label_resolver:
+        Optional ``(dist, pred, virtual) -> labels`` replacement for
+        :func:`claim_labels` — the kernel-backend hook; any substitute
+        must be value-identical (the parity suite checks).
     """
     if not is_connected(graph):
         raise ValueError("graph must be connected to have a spanning tree")
@@ -177,7 +213,8 @@ def akpw(
             scale = float(lengths.min()) * scale_factor
             active = lengths <= scale
         labels, added = _shifted_shortest_path_round(
-            k, cu, cv, lengths, orig, active, scale, rng
+            k, cu, cv, lengths, orig, active, scale, rng,
+            label_resolver=label_resolver,
         )
         if added.size == 0:
             labels, added = _boruvka_round(k, cu, cv, lengths, orig)
@@ -238,16 +275,19 @@ def low_stretch_tree(
     method: str = "akpw",
     seed: int | np.random.Generator | None = None,
     root: int | None = None,
+    label_resolver=None,
 ) -> np.ndarray:
     """Spanning-tree backbone dispatcher.
 
     ``method`` is one of ``"akpw"`` (default, low-stretch),
     ``"spt"`` (Dijkstra shortest-path tree), ``"maxw"`` (maximum-weight
     tree) or ``"random"`` (uniformly weighted Kruskal order — the
-    worst-case baseline for ablations).
+    worst-case baseline for ablations).  ``label_resolver`` is the
+    kernel-backend hook forwarded to :func:`akpw` (ignored by the
+    other methods, which have no sequential label loop).
     """
     if method == "akpw":
-        return akpw(graph, seed=seed)
+        return akpw(graph, seed=seed, label_resolver=label_resolver)
     if method == "spt":
         return shortest_path_tree(graph, root=root, seed=seed)
     if method == "maxw":

@@ -1,0 +1,30 @@
+"""R205 true-positive fixture: unresolvable ``ctx.kernel`` dispatches.
+
+Parsed by the linter, never imported — the undefined ``Stage`` name
+only needs to exist at runtime.
+"""
+
+
+class MistypedStage(Stage):                       # noqa: F821
+    """Dispatches to a kernel name the registry does not know."""
+
+    name = "mistyped"
+    requires = ("graph",)
+    provides = ("tree_indices",)
+
+    def run(self, ctx):
+        """R205: 'lssst' is not a registered kernel."""
+        return ctx.kernel("lssst")                # R205: unknown kernel
+
+
+class DynamicStage(Stage):                        # noqa: F821
+    """Computes the kernel name at run time."""
+
+    name = "dynamic"
+    requires = ("graph",)
+    provides = ("tree_indices",)
+
+    def run(self, ctx):
+        """R205: the dispatch target is not a string literal."""
+        which = "ls" + "st"
+        return ctx.kernel(which)                  # R205: non-literal name

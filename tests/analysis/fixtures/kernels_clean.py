@@ -1,0 +1,37 @@
+"""Kernel-dispatch clean fixture: literal names, contracts match.
+
+Each stage's ``requires``/``provides`` mirror the dispatched kernel's
+declared dataflow (``KERNEL_DISPATCH_EFFECTS``), so the contract rules
+see the delegated reads/writes and stay silent.
+"""
+
+
+class TreeViaKernelStage(Stage):                  # noqa: F821
+    """Builds the backbone through the kernel registry."""
+
+    name = "tree_via_kernel"
+    requires = ()
+    provides = ("tree_indices",)
+
+    def run(self, ctx):
+        """Dispatch resolves to the 'lsst' kernel's reads/writes."""
+        return ctx.kernel("lsst")
+
+
+class FilterViaKernelStage(Stage):                # noqa: F821
+    """Thresholds off-tree heats through the kernel registry."""
+
+    name = "filter_via_kernel"
+    requires = ("state", "off_tree", "heats", "lambda_max")
+    provides = ("threshold", "candidates", "lambda_min")
+
+    def run(self, ctx):
+        """Dispatch resolves to the 'filtering' kernel's dataflow."""
+        return ctx.kernel("filtering")
+
+
+def build():
+    """Tree before filter: wirable left to right."""
+    return SparsifyPipeline(                      # noqa: F821
+        [TreeViaKernelStage(), FilterViaKernelStage()]
+    )
