@@ -117,6 +117,52 @@ def test_micro_batch_flush_coalesces_submissions(smoke):
     assert first == direct[0]
 
 
+def test_http_latency_quantiles_from_metrics(smoke, record, tmp_path):
+    """End-to-end HTTP serving latency, read from the service's own
+    ``repro_http_request_seconds`` histogram — the same numbers
+    ``/metrics`` exports, no client-side stopwatch."""
+    import repro.obs as obs
+    from repro.serve import ServeClient, SparsifierRegistry, SparsifierService
+
+    obs.disable()  # the service installs a fresh ambient registry
+    side = 12 if smoke else 28
+    requests = 20 if smoke else 200
+    graph = generators.grid2d(side, side, weights="uniform", seed=4)
+    service = SparsifierService(SparsifierRegistry(tmp_path / "registry"))
+    service.start()
+    try:
+        client = ServeClient(service.url)
+        key = client.register(graph, sigma2=SIGMA2, seed=0)
+        rng = np.random.default_rng(11)
+        for _ in range(requests):
+            client.resistance(key, _query_pairs(graph.n, 4, rng))
+        hist = obs.get_metrics().histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds per HTTP request, by endpoint "
+            "(unknown paths pool under 'other').",
+            labelnames=("endpoint",),
+        )
+        endpoint = "/query/resistance"
+        # The handler observes latency after the response hits the wire,
+        # so the final observation can trail the client by a beat.
+        deadline = time.perf_counter() + 2.0
+        while (hist.count(endpoint=endpoint) < requests
+               and time.perf_counter() < deadline):
+            time.sleep(0.01)
+        assert hist.count(endpoint=endpoint) == requests
+        p50 = hist.quantile(0.5, endpoint=endpoint)
+        p99 = hist.quantile(0.99, endpoint=endpoint)
+    finally:
+        service.stop()
+        obs.disable()
+    assert 0.0 <= p50 <= p99
+    print(
+        f"\n{endpoint} over {requests} requests: "
+        f"p50 {p50 * 1e3:.2f} ms, p99 {p99 * 1e3:.2f} ms"
+    )
+    record("serve_queries", latency_requests=requests, p50_s=p50, p99_s=p99)
+
+
 def test_serving_stays_fresh_under_churn(smoke):
     """Queries interleaved with event batches answer against the
     updated graph at every step (parity with a cold engine)."""

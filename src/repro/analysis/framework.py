@@ -136,7 +136,7 @@ class LintConfig:
     docstring_packages: tuple = (
         "repro/sparsify/", "repro/solvers/", "repro/stream/",
         "repro/serve/", "repro/core/", "repro/analysis/",
-        "repro/kernels/",
+        "repro/kernels/", "repro/obs/",
     )
     locked_method_suffix: str = "_locked"
     context_knobs: frozenset = CONTEXT_KNOBS
@@ -355,7 +355,13 @@ def lint_files(
     """
     # Importing the rule modules registers them; deferred to avoid an
     # import cycle (rules import the framework).
-    from repro.analysis import contracts, determinism, hygiene, locks  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        contracts,
+        determinism,
+        hygiene,
+        locks,
+        observability,
+    )
 
     config = config or LintConfig()
     modules = [_parse(Path(f)) for f in files]

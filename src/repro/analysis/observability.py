@@ -1,0 +1,75 @@
+"""R5 span-context rule for the observability layer.
+
+A span's interval is defined by its ``with`` block: ``Span.__exit__``
+stops the clock and (for tracer-owned spans) pops the thread-local
+stack and records the interval.  Driving a span by hand —
+
+    span = tracer.span("stage")
+    span.__enter__()
+    ...
+    span.__exit__(None, None, None)
+
+— reintroduces exactly the failure the context manager removes: an
+exception between enter and exit leaks the span, corrupts the tracer's
+depth/parent bookkeeping for every later span on that thread, and
+silently drops the interval from the trace.  **R501** makes the
+convention checkable: every ``.span(...)`` call must be used directly
+as a ``with``-item (``with tracer.span(...) as s:``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.framework import LintRun, ParsedModule, Rule, register
+
+__all__ = ["SpanContextRule"]
+
+
+def _with_item_calls(tree: ast.Module) -> set:
+    """Identities of call nodes used directly as ``with``-items."""
+    items: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                items.add(id(item.context_expr))
+    return items
+
+
+@register
+class SpanContextRule(Rule):
+    """R501: ``.span(...)`` call not used directly as a ``with``-item."""
+
+    rule_id = "R501"
+    title = "span context discipline"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Flag manually driven spans.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (provides the config).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per ``.span(...)`` call that is not the context
+            expression of a ``with`` statement.
+        """
+        allowed = _with_item_calls(module.tree)
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "span"
+                    and id(node) not in allowed):
+                yield Finding(
+                    str(module.path), node.lineno, node.col_offset,
+                    self.rule_id,
+                    "span driven manually: use it as a 'with ...span(...)"
+                    " as s:' item so __exit__ always records the interval",
+                )

@@ -60,6 +60,12 @@ workers in parallel::
 
     python -m repro sparsify multi_component.mtx -o sparsifier.mtx --workers 4
 
+Capture a hierarchical execution trace (``sparsify``, ``stream`` and
+``serve`` all take ``--trace``); load the JSON in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``::
+
+    python -m repro sparsify input.mtx -o sparsifier.mtx --trace trace.json
+
 Replay a day of edge churn against a warm sparsifier, checkpointing at
 the end::
 
@@ -94,6 +100,7 @@ exclusive flags), ``3`` missing input files, ``4`` invalid input data
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro import __version__
@@ -176,6 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "timing/counter table (sharded runs "
                                  "report per-stage CPU totals across "
                                  "shards)")
+    p_sparsify.add_argument("--trace", default=None, metavar="JSON",
+                            help="write a Chrome-trace-event file of the "
+                                 "run (view in Perfetto)")
 
     p_stream = sub.add_parser(
         "stream",
@@ -214,6 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the final sparsifier adjacency (.mtx)")
     p_stream.add_argument("--checkpoint-out", default=None,
                           help="write an npz+json checkpoint after replay")
+    p_stream.add_argument("--trace", default=None, metavar="JSON",
+                          help="write a Chrome-trace-event file of the "
+                               "replay (view in Perfetto)")
 
     p_serve = sub.add_parser(
         "serve",
@@ -242,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port-file", default=None,
                          help="write the bound port to this file once "
                               "listening (for scripts and tests)")
+    p_serve.add_argument("--trace", default=None, metavar="JSON",
+                         help="write a Chrome-trace-event file of the "
+                              "serving session on shutdown (view in "
+                              "Perfetto)")
 
     p_similarity = sub.add_parser(
         "similarity", help="estimate the similarity of two .mtx graphs"
@@ -283,15 +300,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@contextlib.contextmanager
+def _tracing(path: str | None):
+    """Install a process-wide tracer for a command, exporting on exit.
+
+    With ``path`` None this is a no-op.  Otherwise a fresh
+    :class:`repro.obs.Tracer` is activated for the ``with`` body and
+    the finished spans are written as a Chrome-trace-event JSON file —
+    also on failure, so a crashed run still leaves its partial trace.
+    """
+    if path is None:
+        yield
+        return
+    from repro.obs import Tracer, observed
+
+    tracer = Tracer()
+    with observed(tracer=tracer):
+        try:
+            yield
+        finally:
+            tracer.write_chrome_trace(path)
+            print(f"trace written: {path}")
+
+
 def _cmd_sparsify(args: argparse.Namespace) -> int:
     from repro.sparsify import sparsify_graph
 
     graph = load_graph_matrix_market(args.input)
-    result = sparsify_graph(
-        graph, sigma2=args.sigma2, tree_method=args.tree, seed=args.seed,
-        workers=args.workers, shard_max_nodes=args.shard_max_nodes,
-        backend=args.backend, kernel_backend=args.kernel_backend,
-    )
+    with _tracing(args.trace):
+        result = sparsify_graph(
+            graph, sigma2=args.sigma2, tree_method=args.tree, seed=args.seed,
+            workers=args.workers, shard_max_nodes=args.shard_max_nodes,
+            backend=args.backend, kernel_backend=args.kernel_backend,
+        )
     write_matrix_market(
         args.output,
         result.sparsifier.adjacency(),
@@ -320,24 +361,27 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print("error: provide exactly one of --graph or --resume",
               file=sys.stderr)
         return EXIT_USAGE
-    if args.resume is not None:
-        dyn = load_dynamic(args.resume)
-        print(f"resumed: {dyn.graph.n} vertices, {dyn.num_edges} sparsifier "
-              f"edges, {dyn.batches_applied} batches applied so far")
-    else:
-        graph = load_graph_matrix_market(args.graph)
-        dyn = DynamicSparsifier(
-            graph, sigma2=args.sigma2, seed=args.seed,
-            drift_tolerance=args.drift_tolerance,
-            check_every=args.check_every,
-            kernel_backend=args.kernel_backend,
-        )
-        print(f"initial sparsifier: {dyn.num_edges} edges over "
-              f"{graph.n} vertices (sigma2 estimate "
-              f"{dyn.last_estimate:.1f}, target {dyn.sigma2:.1f})")
-    events = read_event_log(args.events)
-    print(f"replaying {len(events)} events in batches of {args.batch_size}")
-    reports = dyn.apply_log(events, batch_size=args.batch_size)
+    with _tracing(args.trace):
+        if args.resume is not None:
+            dyn = load_dynamic(args.resume)
+            print(f"resumed: {dyn.graph.n} vertices, {dyn.num_edges} "
+                  f"sparsifier edges, {dyn.batches_applied} batches applied "
+                  f"so far")
+        else:
+            graph = load_graph_matrix_market(args.graph)
+            dyn = DynamicSparsifier(
+                graph, sigma2=args.sigma2, seed=args.seed,
+                drift_tolerance=args.drift_tolerance,
+                check_every=args.check_every,
+                kernel_backend=args.kernel_backend,
+            )
+            print(f"initial sparsifier: {dyn.num_edges} edges over "
+                  f"{graph.n} vertices (sigma2 estimate "
+                  f"{dyn.last_estimate:.1f}, target {dyn.sigma2:.1f})")
+        events = read_event_log(args.events)
+        print(f"replaying {len(events)} events in batches of "
+              f"{args.batch_size}")
+        reports = dyn.apply_log(events, batch_size=args.batch_size)
     for r in reports:
         quality = f"{r.sigma2_estimate:8.1f}" if r.checked else "     (skip)"
         actions = []
@@ -374,32 +418,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import tempfile
     from pathlib import Path
 
+    from repro.obs import enable_metrics
     from repro.serve import SparsifierRegistry, SparsifierService
 
+    # Enable the ambient registry before the --graph pre-registrations so
+    # their build events land on /metrics, not just post-start traffic.
+    enable_metrics()
     spool = args.spool_dir or tempfile.mkdtemp(prefix="repro-serve-")
     registry = SparsifierRegistry(spool, max_resident=args.max_resident)
-    for path in args.graphs:
-        graph = load_graph_matrix_market(path)
-        key = registry.register(
-            graph, sigma2=args.sigma2, seed=args.seed, tree_method=args.tree
-        )
-        dyn = registry.get(key).dynamic
-        print(f"registered {path}: key={key} ({graph.n} vertices, "
-              f"{dyn.num_edges} sparsifier edges, sigma2 estimate "
-              f"{dyn.last_estimate:.1f})")
-    service = SparsifierService(registry, host=args.host, port=args.port)
-    service.start()
-    host, port = service.address
-    if args.port_file:
-        Path(args.port_file).write_text(str(port), encoding="utf-8")
-    print(f"serving on http://{host}:{port} (spool: {spool}; "
-          f"POST /shutdown to stop)")
-    try:
-        service.wait()
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        print("interrupted")
-    finally:
-        service.stop()
+    with _tracing(args.trace):
+        for path in args.graphs:
+            graph = load_graph_matrix_market(path)
+            key = registry.register(
+                graph, sigma2=args.sigma2, seed=args.seed,
+                tree_method=args.tree
+            )
+            dyn = registry.get(key).dynamic
+            print(f"registered {path}: key={key} ({graph.n} vertices, "
+                  f"{dyn.num_edges} sparsifier edges, sigma2 estimate "
+                  f"{dyn.last_estimate:.1f})")
+        service = SparsifierService(registry, host=args.host, port=args.port)
+        service.start()
+        host, port = service.address
+        if args.port_file:
+            Path(args.port_file).write_text(str(port), encoding="utf-8")
+        print(f"serving on http://{host}:{port} (spool: {spool}; "
+              f"POST /shutdown to stop)")
+        try:
+            service.wait()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print("interrupted")
+        finally:
+            service.stop()
     print("server stopped")
     return 0
 

@@ -6,12 +6,15 @@ must be satisfiable from the context's current values or an earlier
 stage's ``provides`` — mis-wired compositions fail fast with a
 :class:`PipelineValidationError` naming the stage and the missing
 inputs instead of dying mid-run on an ``AttributeError``.  While
-running, every stage execution is wall-clock timed and its counters
-folded into the context's
-:class:`~repro.core.profile.PipelineProfile`; callers can observe or
-intercept execution through the ``before_stage``/``after_stage`` hook
-points (the serving layer uses them for build progress, tests for
-wiring assertions).
+running, every stage execution is wrapped in an observability span
+(category ``"stage"``; see :mod:`repro.obs`) whose wall-clock interval
+and counters are folded into the context's
+:class:`~repro.core.profile.PipelineProfile` — the profile is a view
+over the trace, and
+:meth:`~repro.core.profile.PipelineProfile.from_trace` rebuilds it
+from the recorded spans.  Callers can observe or intercept execution
+through the ``before_stage``/``after_stage`` hook points (the serving
+layer uses them for build progress, tests for wiring assertions).
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from typing import Callable, Sequence
 
 from repro.core.context import PipelineContext
 from repro.core.stage import Stage
-from repro.utils.timing import Timer
+from repro.obs import get_tracer
 
 __all__ = ["PipelineValidationError", "SparsifyPipeline"]
 
@@ -134,9 +137,10 @@ class SparsifyPipeline:
         for stage in self.stages:
             if self.before_stage is not None:
                 self.before_stage(stage, ctx)
-            with Timer() as timer:
+            with get_tracer().span(stage.name, category="stage") as span:
                 counters = stage.run(ctx)
-            ctx.profile.record(stage.name, timer.elapsed, counters)
+                span.annotate(counters)
+            ctx.profile.record(stage.name, span.elapsed, counters)
             if self.after_stage is not None:
                 self.after_stage(stage, ctx)
         return ctx

@@ -169,6 +169,37 @@ class PipelineProfile:
         }
 
     @classmethod
+    def from_trace(cls, tracer) -> "PipelineProfile":
+        """Rebuild a profile from a tracer's recorded stage spans.
+
+        The pipeline records every stage execution as a span (category
+        ``"stage"``) carrying the stage's counters as annotations, so
+        the profile is strictly a *view* over the trace: this
+        classmethod reduces the spans back into per-stage calls,
+        seconds and counters, bit-equal to the profile the run
+        accumulated inline.
+
+        Parameters
+        ----------
+        tracer:
+            A :class:`repro.obs.Tracer` that observed the run.
+
+        Returns
+        -------
+        PipelineProfile
+            The reduced per-stage view of the trace.
+        """
+        profile = cls()
+        for record in tracer.records(category="stage"):
+            counters = {
+                key: value
+                for key, value in record.args.items()
+                if isinstance(value, (int, float))
+            }
+            profile.record(record.name, record.duration, counters)
+        return profile
+
+    @classmethod
     def from_dict(cls, payload: dict) -> "PipelineProfile":
         """Rebuild a profile from an :meth:`as_dict` snapshot.
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.core.context import PipelineContext
 from repro.core.stage import Stage
+from repro.obs import get_metrics, get_tracer
 from repro.spectral.extreme import generalized_power_iteration
 from repro.utils.timing import Timer
 
@@ -123,6 +124,11 @@ class EstimateStage(Stage):
         )
         ctx.lambda_min = state.lambda_min()
         ctx.sigma2_estimate = ctx.lambda_max / ctx.lambda_min
+        get_metrics().gauge(
+            "repro_sigma2_estimate",
+            "Relative condition number lambda_max/lambda_min after the "
+            "latest estimate stage.",
+        ).set(ctx.sigma2_estimate)
         return None
 
 
@@ -255,9 +261,11 @@ class DensifyStage(Stage):
 
     def _step(self, ctx: PipelineContext, stage: Stage) -> None:
         """Run one sub-stage with per-execution profiling."""
-        with Timer() as timer:
+        name = f"{self.name}.{stage.name}"
+        with get_tracer().span(name, category="stage") as span:
             counters = stage.run(ctx)
-        ctx.profile.record(f"{self.name}.{stage.name}", timer.elapsed, counters)
+            span.annotate(counters)
+        ctx.profile.record(name, span.elapsed, counters)
 
     def run(self, ctx: PipelineContext) -> dict:
         """Drive the filter loop until σ² is certified or it runs dry.

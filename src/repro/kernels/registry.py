@@ -37,6 +37,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import get_metrics, get_tracer
+
 __all__ = [
     "BACKENDS",
     "HAS_NUMBA",
@@ -206,6 +208,11 @@ def kernel_impl(name: str, backend: str) -> Callable:
         If no implementation exists along the whole fallback chain
         (impossible while ``reference`` registers every kernel).
     """
+    return _resolve_impl(name, backend)[1]
+
+
+def _resolve_impl(name: str, backend: str) -> tuple:
+    """Resolve ``(concrete backend, implementation)`` for one kernel."""
     if name not in KERNELS:
         raise ValueError(f"unknown kernel {name!r}; expected one of "
                          f"{tuple(sorted(KERNELS))}")
@@ -213,7 +220,7 @@ def kernel_impl(name: str, backend: str) -> Callable:
     while candidate is not None:
         fn = _IMPLS.get((name, candidate))
         if fn is not None:
-            return fn
+            return candidate, fn
         candidate = _FALLBACK.get(candidate)
     raise LookupError(f"no implementation registered for kernel {name!r}")
 
@@ -243,8 +250,25 @@ def run_kernel(ctx, name: str):
         raise ValueError(f"unknown kernel {name!r}; expected one of "
                          f"{tuple(sorted(KERNELS))}")
     kernel = KERNELS[name]
-    impl = kernel_impl(name, ctx.kernel_backend)
-    return kernel.wiring(ctx, impl)
+    backend, impl = _resolve_impl(name, ctx.kernel_backend)
+    metrics = get_metrics()
+    with get_tracer().span(
+        f"kernel.{name}", category="kernel", backend=backend
+    ) as span:
+        counters = kernel.wiring(ctx, impl)
+    metrics.counter(
+        "repro_kernel_calls_total",
+        "Kernel dispatches through the registry, by kernel and "
+        "concrete backend.",
+        labelnames=("kernel", "backend"),
+    ).inc(kernel=name, backend=backend)
+    metrics.histogram(
+        "repro_kernel_seconds",
+        "Wall-clock seconds per kernel dispatch, by kernel and "
+        "concrete backend.",
+        labelnames=("kernel", "backend"),
+    ).observe(span.elapsed, kernel=name, backend=backend)
+    return counters
 
 
 def _wire_lsst(ctx, impl) -> dict:

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import get_metrics
 from repro.sparsify.effective_resistance import (
     exact_effective_resistances,
     validate_pairs,
@@ -445,4 +446,10 @@ class QueryEngine:
         self.stats.queries += len(batch)
         self.stats.flushes += 1
         self.stats.flushed_columns += len(batch)
+        get_metrics().histogram(
+            "repro_serve_microbatch_size",
+            "RHS columns per micro-batch flush (the realized "
+            "cross-request coalescing factor).",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        ).observe(float(len(batch)))
         return len(batch)

@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.core.profile import PipelineProfile
 from repro.graphs.graph import Graph
+from repro.obs import get_metrics
 from repro.serve.engine import QueryEngine
 from repro.sparsify.similarity_aware import SparsifyResult
 from repro.stream.checkpoint import checkpoint_paths, load_dynamic, save_dynamic
@@ -67,6 +68,17 @@ __all__ = [
     "artifact_key",
     "graph_fingerprint",
 ]
+
+
+def _count_registry_event(event: str) -> None:
+    """Mirror one RegistryStats increment into the metrics registry."""
+    get_metrics().counter(
+        "repro_registry_events_total",
+        "Registry traffic by event: hit (register/get without a "
+        "build), build (registry miss), eviction (LRU spill to "
+        "disk), reload (checkpoint restore).",
+        labelnames=("event",),
+    ).inc(event=event)
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -262,11 +274,13 @@ class SparsifierRegistry:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                _count_registry_event("hit")
                 return key
             dyn = DynamicSparsifier(
                 graph, sigma2=sigma2, seed=seed, tree_method=tree_method, **options
             )
             self.stats.builds += 1
+            _count_registry_event("build")
             self._admit_locked(RegistryEntry(key, params, dyn))
             return key
 
@@ -307,9 +321,11 @@ class SparsifierRegistry:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                _count_registry_event("hit")
                 return key
             dyn = DynamicSparsifier.from_result(result, seed=seed, **options)
             self.stats.builds += 1
+            _count_registry_event("build")
             self._admit_locked(RegistryEntry(key, params, dyn))
             return key
 
@@ -351,6 +367,7 @@ class SparsifierRegistry:
         entry.dynamic = None
         entry.engine = None
         self.stats.evictions += 1
+        _count_registry_event("eviction")
 
     # ------------------------------------------------------------------
     # Access
@@ -386,6 +403,7 @@ class SparsifierRegistry:
                 entry.dynamic = dyn
                 entry.engine = QueryEngine(dyn, lock=entry.lock)
                 self.stats.reloads += 1
+                _count_registry_event("reload")
                 self._entries.move_to_end(key)
                 while self._resident_count_locked() > self.max_resident:
                     if not self._evict_lru_locked(keep=key):
@@ -393,6 +411,7 @@ class SparsifierRegistry:
             else:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                _count_registry_event("hit")
             return entry
 
     def engine(self, key: str) -> QueryEngine:

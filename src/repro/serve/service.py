@@ -11,8 +11,13 @@ Routes (all bodies and responses are JSON):
 =======  =====================  ==============================================
 Method   Path                   Action
 =======  =====================  ==============================================
-GET      ``/stats``             registry snapshot (keys, residency, counters
-                                and per-artifact pipeline stage profiles)
+GET      ``/stats``             registry snapshot (keys, residency, counters,
+                                per-artifact pipeline stage profiles and a
+                                metrics-registry snapshot)
+GET      ``/metrics``           Prometheus text exposition of the process
+                                metrics registry (latency histograms,
+                                registry hit/miss counters, solver/kernel
+                                counters — ``text/plain``, not JSON)
 POST     ``/graphs``            register ``{n, u, v, w, sigma2?, seed?, ...}``
 POST     ``/query/resistance``  ``{key, pairs}`` → effective resistances
 POST     ``/query/similarity``  ``{key, pairs}`` → ``w·R_eff`` edge scores
@@ -46,6 +51,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs import enable_metrics, get_metrics, get_tracer
 from repro.serve.registry import SparsifierRegistry
 from repro.stream.events import EdgeDelete, EdgeEvent, EdgeInsert, WeightUpdate
 
@@ -53,6 +59,14 @@ __all__ = ["ServeClient", "ServiceError", "SparsifierService"]
 
 _EVENT_TYPES = {"insert": EdgeInsert, "delete": EdgeDelete, "update": WeightUpdate}
 _EVENT_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+#: Known routes — the label space of the per-endpoint latency histogram
+#: (unknown paths pool under ``"other"`` so labels stay bounded).
+_ENDPOINTS = frozenset({
+    "/stats", "/metrics", "/graphs", "/query/resistance",
+    "/query/similarity", "/query/solve", "/query/embedding", "/events",
+    "/shutdown",
+})
 
 
 def _event_from_record(record: dict) -> EdgeEvent:
@@ -89,19 +103,51 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(
+            status, text.encode("utf-8"), "text/plain; version=0.0.4"
+        )
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
+    def _observe_request(self, span) -> None:
+        endpoint = self.path if self.path in _ENDPOINTS else "other"
+        get_metrics().histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds per HTTP request, by endpoint "
+            "(unknown paths pool under 'other').",
+            labelnames=("endpoint",),
+        ).observe(span.elapsed, endpoint=endpoint)
+
     def do_GET(self) -> None:
-        if self.path == "/stats":
-            self._send(200, self.service._registry.describe())
-        else:
-            self._send(404, {"error": f"unknown path {self.path!r}"})
+        with get_tracer().span(
+            f"GET {self.path}", category="serve"
+        ) as span:
+            if self.path == "/stats":
+                payload = self.service._registry.describe()
+                payload["metrics"] = get_metrics().snapshot()
+                self._send(200, payload)
+            elif self.path == "/metrics":
+                self._send_text(200, get_metrics().render_prometheus())
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        self._observe_request(span)
 
     def do_POST(self) -> None:
+        with get_tracer().span(
+            f"POST {self.path}", category="serve"
+        ) as span:
+            self._handle_post()
+        self._observe_request(span)
+
+    def _handle_post(self) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length)
         try:
@@ -140,6 +186,13 @@ class SparsifierService:
         Bind address (default loopback).
     port:
         TCP port; ``0`` picks a free one (see :attr:`address`).
+    metrics:
+        When True (the default), enable the process metrics registry
+        (:func:`repro.obs.enable_metrics`) so ``GET /metrics`` serves
+        live counters and latency histograms from every layer; pass
+        False to leave the ambient observability configuration alone
+        (``/metrics`` then renders whatever is active — an empty body
+        when disabled).
 
     Examples
     --------
@@ -159,8 +212,11 @@ class SparsifierService:
         registry: SparsifierRegistry,
         host: str = "127.0.0.1",
         port: int = 0,
+        metrics: bool = True,
     ) -> None:
         self._registry = registry
+        if metrics:
+            enable_metrics()
         handler = type("_BoundHandler", (_Handler,), {"service": self})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -489,9 +545,23 @@ class ServeClient:
         Returns
         -------
         dict
-            The ``GET /stats`` payload.
+            The ``GET /stats`` payload (including a ``"metrics"``
+            snapshot of the process metrics registry).
         """
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """Prometheus text exposition from ``GET /metrics``.
+
+        Returns
+        -------
+        str
+            The exposition body (empty when metrics are disabled
+            service-side).
+        """
+        request = urllib.request.Request(self.url + "/metrics", method="GET")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
 
     def shutdown(self) -> None:
         """Ask the service to stop serving (after it responds)."""

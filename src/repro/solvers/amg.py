@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import get_metrics
 from repro.solvers.base import csr_value_positions
 from repro.solvers.cholesky import DirectSolver
 from repro.utils.memory import sparse_nbytes
@@ -162,6 +163,20 @@ class AMGSolver:
         self._coarse_A = A
         self.coarse_solver = DirectSolver(A.tocsc())
         self._coarse_n = A.shape[0]
+        get_metrics().counter(
+            "repro_amg_hierarchies_total",
+            "AMG hierarchies built (initial setup and re-coarsenings).",
+        ).inc()
+
+    @staticmethod
+    def _request_rebuild() -> bool:
+        """Count one rebuild request and tell the caller to re-coarsen."""
+        get_metrics().counter(
+            "repro_amg_rebuild_requests_total",
+            "AMG updates declined (stale aggregation or pattern miss) — "
+            "each makes the caller re-coarsen the hierarchy.",
+        ).inc()
+        return False
 
     @staticmethod
     def _galerkin(A: sp.csr_matrix, P: sp.csr_matrix) -> sp.csr_matrix:
@@ -255,7 +270,7 @@ class AMGSolver:
         if u.size == 0:
             return True
         if self._updates_absorbed >= self.rebuild_every:
-            return False
+            return self._request_rebuild()
         # First pass: locate every level's patch so a pattern miss on a
         # coarse level cannot leave the hierarchy partially updated.
         patches = []
@@ -263,7 +278,7 @@ class AMGSolver:
         for level in self.levels:
             patch = self._laplacian_patch(level["A"], cu, cv, cw)
             if patch is None:
-                return False
+                return self._request_rebuild()
             patches.append((level, cu, cv, patch))
             coarse_u = level["labels"][cu]
             coarse_v = level["labels"][cv]
@@ -275,7 +290,7 @@ class AMGSolver:
         if cu.size:
             coarse_patch = self._laplacian_patch(self._coarse_A, cu, cv, cw)
             if coarse_patch is None:
-                return False
+                return self._request_rebuild()
         # Second pass: apply.  The tail half of each patch's positions
         # addresses the (u, u)/(v, v) diagonal entries, so the Jacobi
         # diagonals refresh in O(batch) without materializing diagonal().
@@ -293,6 +308,11 @@ class AMGSolver:
             if not self.coarse_solver.update(cu, cv, cw):
                 self.coarse_solver = DirectSolver(self._coarse_A.tocsc())
         self._updates_absorbed += 1
+        get_metrics().counter(
+            "repro_amg_updates_absorbed_total",
+            "Edge-update batches patched into the AMG hierarchy in "
+            "place.",
+        ).inc()
         return True
 
     def _smooth(self, A: sp.csr_matrix, inv_diag: np.ndarray, x: np.ndarray,
@@ -337,6 +357,11 @@ class AMGSolver:
         rhs = b[:, None] if single else b
         if self.singular:
             rhs = rhs - rhs.mean(axis=0, keepdims=True)
+        get_metrics().counter(
+            "repro_amg_vcycles_total",
+            "AMG V-cycles applied across all solves and "
+            "preconditioner applications.",
+        ).inc(self.cycles)
         x = self._vcycle(0, rhs)
         fine = self.levels[0]["A"] if self.levels else self._coarse_A
         for _ in range(self.cycles - 1):

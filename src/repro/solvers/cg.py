@@ -15,6 +15,8 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import get_metrics
+
 __all__ = ["SolveResult", "pcg", "conjugate_gradient"]
 
 
@@ -97,6 +99,34 @@ def pcg(
     TypeError
         If ``A`` cannot be used as a linear operator.
     """
+    result = _pcg(
+        A, b, preconditioner=preconditioner, tol=tol, maxiter=maxiter,
+        x0=x0, project_nullspace=project_nullspace,
+    )
+    metrics = get_metrics()
+    metrics.counter(
+        "repro_cg_solves_total", "PCG solves started (converged or not)."
+    ).inc()
+    metrics.counter(
+        "repro_cg_iterations_total", "PCG iterations across all solves."
+    ).inc(result.iterations)
+    metrics.gauge(
+        "repro_cg_last_residual",
+        "Final residual 2-norm of the most recent PCG solve.",
+    ).set(result.final_residual)
+    return result
+
+
+def _pcg(
+    A,
+    b: np.ndarray,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+    tol: float = 1e-6,
+    maxiter: int = 1000,
+    x0: np.ndarray | None = None,
+    project_nullspace: bool = False,
+) -> SolveResult:
+    """The un-instrumented PCG body (see :func:`pcg`)."""
     matvec = _as_matvec(A)
     b = np.asarray(b, dtype=np.float64)
     if tol <= 0:

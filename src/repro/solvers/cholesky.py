@@ -40,6 +40,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.graphs.laplacian import ground_matrix
+from repro.obs import get_metrics
 from repro.utils.memory import factor_nbytes
 from repro.utils.validation import check_square
 
@@ -110,6 +111,21 @@ class DirectSolver:
         self._update_w = np.empty(0, dtype=np.float64)
         self._update_cap = None
         self._cap_is_cholesky = True
+        get_metrics().counter(
+            "repro_direct_factorizations_total",
+            "Sparse LU factorizations built by DirectSolver.",
+        ).inc()
+
+    @staticmethod
+    def _request_refactor() -> bool:
+        """Count one rejected update and tell the caller to rebuild."""
+        get_metrics().counter(
+            "repro_woodbury_refactor_requests_total",
+            "Woodbury updates rejected by DirectSolver (rank cap, "
+            "missing factorization, or singular capacitance) — each "
+            "makes the caller re-factorize.",
+        ).inc()
+        return False
 
     @property
     def factor_bytes(self) -> int:
@@ -167,9 +183,9 @@ class DirectSolver:
         if np.any(w == 0.0):
             raise ValueError("edge-update deltas must be nonzero")
         if self._lu is None:
-            return False
+            return self._request_refactor()
         if self.update_rank + u.size > self.max_update_rank:
-            return False
+            return self._request_refactor()
         cols = np.arange(u.size)
         U_new = np.zeros((self.n, u.size), dtype=np.float64)
         np.add.at(U_new, (u, cols), 1.0)
@@ -214,14 +230,25 @@ class DirectSolver:
                     # Numerically singular: the update removed the
                     # matrix's definiteness (e.g. a deletion that
                     # disconnects the graph).  Ask for a rebuild.
-                    return False
+                    return self._request_refactor()
         except scipy.linalg.LinAlgError:  # pragma: no cover - defensive
-            return False
+            return self._request_refactor()
         self._update_U, self._update_Z = U, Z
         self._update_M = capacitance
         self._update_w = all_w
         self._update_cap = cap
         self._cap_is_cholesky = use_cholesky
+        metrics = get_metrics()
+        metrics.counter(
+            "repro_woodbury_updates_total",
+            "Edge-update batches absorbed by DirectSolver via the "
+            "Woodbury identity.",
+        ).inc()
+        metrics.gauge(
+            "repro_woodbury_update_rank",
+            "Accumulated Woodbury update rank since the last "
+            "factorization.",
+        ).set(self.update_rank)
         return True
 
     def _base_solve(self, rhs: np.ndarray) -> np.ndarray:

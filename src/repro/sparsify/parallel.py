@@ -41,6 +41,13 @@ from repro.core.profile import PipelineProfile
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.graphs.operations import induced_subgraph
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    observed,
+)
 from repro.solvers.cholesky import DirectSolver
 from repro.sparsify.similarity_aware import (
     SimilarityAwareSparsifier,
@@ -380,6 +387,36 @@ def _sparsify_shard(
     return result, timer.elapsed
 
 
+def _sparsify_shard_observed(
+    task: tuple[Graph, dict, np.random.Generator],
+) -> tuple[SparsifyResult, float, list, dict]:
+    """Worker body for process pools under active observability.
+
+    A forked worker only inherits *copies* of the parent's tracer and
+    metrics registry, so anything it records there is lost.  This
+    variant instead traces into a fresh tracer/registry pair and ships
+    the finished spans and the metrics snapshot back with the result;
+    the parent merges them (:meth:`repro.obs.Tracer.merge`,
+    :meth:`repro.obs.MetricsRegistry.merge`) into one coherent trace.
+
+    Parameters
+    ----------
+    task:
+        ``(shard_graph, kernel_options, rng)`` triple.
+
+    Returns
+    -------
+    tuple[SparsifyResult, float, list, dict]
+        The shard's result, its wall seconds, its span records and its
+        metrics snapshot.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with observed(tracer=tracer, metrics=metrics):
+        result, seconds = _sparsify_shard(task)
+    return result, seconds, tracer.records(), metrics.snapshot()
+
+
 class ShardedSparsifier:
     """Shard-parallel similarity-aware sparsification pipeline.
 
@@ -512,10 +549,23 @@ class ShardedSparsifier:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
+        tracer = get_tracer()
+        metrics = get_metrics()
+        capture = tracer.enabled or metrics.enabled
+        worker = _sparsify_shard_observed if capture else _sparsify_shard
+        origin = tracer.now()
         with concurrent.futures.ProcessPoolExecutor(
             max_workers, mp_context=context
         ) as pool:
-            return list(pool.map(_sparsify_shard, tasks))
+            raw = list(pool.map(worker, tasks))
+        if not capture:
+            return raw
+        outcomes = []
+        for result, seconds, records, snapshot in raw:
+            tracer.merge(records, offset=origin)
+            metrics.merge(snapshot)
+            outcomes.append((result, seconds))
+        return outcomes
 
     # ------------------------------------------------------------------
     # Pipeline
@@ -542,8 +592,10 @@ class ShardedSparsifier:
         """
         if graph.n < 2:
             raise ValueError("graph must have at least 2 vertices")
+        tracer = get_tracer()
         with Timer() as wall:
-            plan = plan_shards(graph, shard_max_nodes=self.shard_max_nodes)
+            with tracer.span("shards.plan", category="shard"):
+                plan = plan_shards(graph, shard_max_nodes=self.shard_max_nodes)
             active = [shard for shard in plan.shards if not shard.is_trivial]
             if len(plan.shards) == 1:
                 rngs = [self.seed]  # single shard: match the serial pipeline
@@ -555,8 +607,13 @@ class ShardedSparsifier:
                  rngs[shard.index])
                 for shard in active
             ]
-            outcomes = self._run_tasks(tasks, backend)
-            result = self._stitch(graph, plan, active, outcomes, backend)
+            with tracer.span(
+                "shards.run", category="shard", backend=backend,
+                shards=len(active),
+            ):
+                outcomes = self._run_tasks(tasks, backend)
+            with tracer.span("shards.stitch", category="shard"):
+                result = self._stitch(graph, plan, active, outcomes, backend)
         result.wall_seconds = wall.elapsed
         return result
 

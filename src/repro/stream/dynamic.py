@@ -69,10 +69,10 @@ from repro.stream.events import (
     WeightUpdate,
     coalesce,
 )
+from repro.obs import get_metrics, get_tracer
 from repro.trees.lsst import low_stretch_tree
 from repro.trees.spanning import complete_forest
 from repro.utils.rng import as_rng
-from repro.utils.timing import Timer
 
 __all__ = ["BatchReport", "DynamicSparsifier"]
 
@@ -558,9 +558,14 @@ class DynamicSparsifier:
             disconnect the host graph.
         """
         events = list(events)
-        with Timer() as timer:
+        with get_tracer().span("stream.batch", category="stream") as span:
             report = self._apply(events)
-        return BatchReport(**report, num_events=len(events), elapsed=timer.elapsed)
+            span.annotate(
+                num_events=len(events),
+                num_net_events=report["num_net_events"],
+                redensified=report["redensified"],
+            )
+        return BatchReport(**report, num_events=len(events), elapsed=span.elapsed)
 
     @staticmethod
     def _validate_stream(og: Graph, events: Sequence[EdgeEvent]) -> None:
@@ -767,6 +772,43 @@ class DynamicSparsifier:
                 redensified = True
                 self.redensify_count += 1
             self.last_estimate = sigma2_estimate
+
+        # ---- observability (passive: counters and gauges only) -------
+        metrics = get_metrics()
+        metrics.counter(
+            "repro_stream_batches_total",
+            "Event batches applied by DynamicSparsifier.",
+        ).inc()
+        metrics.counter(
+            "repro_stream_events_total",
+            "Net edge events applied after per-batch coalescing.",
+        ).inc(len(net))
+        metrics.counter(
+            "repro_stream_coalesced_events_total",
+            "Raw events eliminated by per-batch coalescing.",
+        ).inc(len(events) - len(net))
+        repairs = metrics.counter(
+            "repro_stream_repairs_total",
+            "Repair-tier activations: solver_absorb (tier 1 Woodbury), "
+            "tree_repair/tree_rebuild (tier 2 backbone), redensify "
+            "(tier 3 drift response).",
+            labelnames=("tier",),
+        )
+        if solver_absorbed and deltas_u:
+            repairs.inc(tier="solver_absorb")
+        if tree_repairs:
+            repairs.inc(tree_repairs, tier="tree_repair")
+        if tree_rebuilt:
+            repairs.inc(tier="tree_rebuild")
+        if redensified:
+            repairs.inc(tier="redensify")
+        if checked:
+            metrics.gauge(
+                "repro_stream_drift_ratio",
+                "Tracked σ² estimate over the target σ² at the most "
+                "recent drift check (tier 3 fires above "
+                "drift_tolerance).",
+            ).set(sigma2_estimate / self.sigma2)
 
         return dict(
             batch=self.batches_applied,

@@ -1,4 +1,11 @@
-"""Wall-clock timing helpers used by the experiment harness."""
+"""Wall-clock timing helpers used by the experiment harness.
+
+Since the observability layer landed there is exactly one timing
+primitive in the repo: :class:`repro.obs.trace.Span`.  ``Timer`` is a
+thin alias kept for API compatibility — a bare ``Span()`` measures
+wall time without reporting anywhere, which is precisely what the old
+``Timer`` did.
+"""
 
 from __future__ import annotations
 
@@ -6,47 +13,9 @@ import functools
 import time
 from typing import Any, Callable
 
+from repro.obs.trace import Span as Timer
+
 __all__ = ["Timer", "timed"]
-
-
-class Timer:
-    """Context manager measuring wall time with :func:`time.perf_counter`.
-
-    Examples
-    --------
-    >>> with Timer() as t:
-    ...     _ = sum(range(1000))
-    >>> t.elapsed >= 0.0
-    True
-    """
-
-    def __init__(self) -> None:
-        self._start: float | None = None
-        self.elapsed: float = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
-
-    def restart(self) -> None:
-        """Reset the start time and clear any previously stored interval.
-
-        Without clearing, lap-style reuse (``restart()`` followed by an
-        exception or an early exit before ``__exit__``) would report the
-        *previous* interval's ``elapsed``.
-        """
-        self._start = time.perf_counter()
-        self.elapsed = 0.0
-
-    def lap(self) -> float:
-        """Seconds since construction/:meth:`restart` without stopping."""
-        if self._start is None:
-            raise RuntimeError("Timer was never started")
-        return time.perf_counter() - self._start
 
 
 def timed(func: Callable[..., Any]) -> Callable[..., tuple[Any, float]]:

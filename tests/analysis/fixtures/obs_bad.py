@@ -1,0 +1,28 @@
+"""R5 true-positive fixture: spans driven by hand instead of ``with``."""
+
+
+def manual_enter_exit(tracer):
+    """R501: span created, entered and exited manually."""
+    span = tracer.span("stage")
+    span.__enter__()
+    try:
+        work()
+    finally:
+        span.__exit__(None, None, None)
+    return span.elapsed
+
+
+def deferred_with(tracer):
+    """R501: the call is not *directly* a with-item (aliased first)."""
+    span = tracer.span("stage")
+    with span:
+        work()
+
+
+def nested_in_expression(tracer, spans):
+    """R501: span call buried in an expression, never a with-item."""
+    spans.append(tracer.span("stage"))
+
+
+def work():
+    """Placeholder workload."""

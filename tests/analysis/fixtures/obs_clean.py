@@ -1,0 +1,27 @@
+"""R5 clean fixture: every span call is a direct ``with``-item."""
+
+
+def traced(tracer):
+    """Spans scoped by ``with`` — the interval always records."""
+    with tracer.span("outer", category="stage") as outer:
+        with tracer.span("inner", category="kernel"):
+            work()
+        outer.annotate(done=True)
+    return outer.elapsed
+
+
+def multi_item(tracer, lock):
+    """Span as one item of a multi-item ``with``."""
+    with lock, tracer.span("guarded"):
+        work()
+
+
+def non_span_calls(tracer):
+    """Other attribute calls named differently are not the rule's
+    business."""
+    tracer.clear()
+    return tracer.records(category="stage")
+
+
+def work():
+    """Placeholder workload."""

@@ -122,3 +122,17 @@ def test_rule_subset_filter():
         LintConfig(order_sensitive=("fixtures/",), rules=("R102",)),
     )
     assert set(rules) == {"R102"}
+
+
+def test_observability_bad_fixture_fires():
+    rules, result = _rules(FIXTURES / "obs_bad.py")
+    assert rules.count("R501") == 3  # manual enter/exit, alias, expression
+    for finding in result.findings:
+        if finding.rule == "R501":
+            assert "with" in finding.message
+            assert finding.line > 0
+
+
+def test_observability_clean_fixture_passes():
+    rules, _ = _rules(FIXTURES / "obs_clean.py")
+    assert "R501" not in rules

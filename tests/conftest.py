@@ -8,6 +8,22 @@ import pytest
 from repro.graphs import Graph, generators
 
 
+@pytest.fixture(autouse=True)
+def _isolated_observability():
+    """Restore the ambient observability collectors after every test.
+
+    Service construction (``SparsifierService(metrics=True)``) and
+    observability tests install process-global collectors; without this
+    guard they would leak across the suite and couple test outcomes to
+    execution order.
+    """
+    import repro.obs as obs
+
+    tracer, metrics = obs.get_tracer(), obs.get_metrics()
+    yield
+    obs.configure(tracer=tracer, metrics=metrics)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""
