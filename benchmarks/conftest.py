@@ -17,6 +17,15 @@ always are — ``bench_*.py`` is not collected by the default run).
 timings/ratios are appended to ``benchmarks/BENCH_<name>.json`` (a
 JSON list, one record per run) via the ``record`` fixture, so speedup
 trends survive across sessions instead of scrolling away in logs.
+``--record-dir`` redirects the trajectory files (the CI
+perf-regression job records into a temp dir and gates it with ``repro
+obs check-regressions``).  Every record carries the environment
+fingerprint (:func:`repro.obs.ledger.environment_fingerprint`) so
+cross-run diffs can explain outliers, and is mirrored into
+``BENCH_LEDGER.jsonl`` next to the trajectory files so ``repro obs
+runs`` works on benchmark history too.  A corrupt trajectory file is
+backed up to ``*.corrupt-<ts>`` and rebuilt — never silently
+destroyed.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import warnings
 from pathlib import Path
 
 import pytest
@@ -50,6 +60,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=False,
         help="append each run's timings/ratios to BENCH_<name>.json",
     )
+    parser.addoption(
+        "--record-dir",
+        default=None,
+        help="directory for BENCH_<name>.json trajectories "
+             "(default: benchmarks/)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -62,32 +78,73 @@ def scale() -> float:
     return bench_scale()
 
 
+def _load_history(path: Path) -> list:
+    """Parse an existing trajectory, quarantining corrupt files.
+
+    A file that is not valid JSON (or not a list) is moved aside to
+    ``<name>.corrupt-<utc timestamp>`` with a warning, so the history
+    it held stays recoverable instead of being overwritten with ``[]``.
+    """
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        history = None
+    if isinstance(history, list):
+        return history
+    stamp = datetime.datetime.now(datetime.timezone.utc).strftime(
+        "%Y%m%dT%H%M%S"
+    )
+    backup = path.with_name(f"{path.name}.corrupt-{stamp}")
+    path.replace(backup)
+    warnings.warn(
+        f"{path.name} is corrupt; backed up to {backup.name} and "
+        f"starting a fresh trajectory",
+        stacklevel=3,
+    )
+    return []
+
+
 def record_metrics(name: str, metrics: dict, directory: Path | None = None,
                    *, smoke_run: bool = False) -> Path:
     """Append one benchmark record to ``BENCH_<name>.json``.
 
     The file holds a JSON list; each run appends one record with a
-    UTC timestamp, the active ``REPRO_SCALE`` and the metric mapping.
+    UTC timestamp, the active ``REPRO_SCALE``, the metric mapping and
+    an environment fingerprint.  The record is also mirrored into
+    ``BENCH_LEDGER.jsonl`` in the same directory as a
+    :class:`repro.obs.ledger.RunRecord`, so ``repro obs runs
+    list/show/diff`` can inspect benchmark history.
     """
+    from repro.obs.ledger import RunLedger, RunRecord, environment_fingerprint
+
     directory = directory or Path(__file__).parent
+    directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
-    history = []
-    if path.exists():
-        try:
-            history = json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            history = []
-        if not isinstance(history, list):
-            history = []
+    history = _load_history(path)
+    recorded_at = datetime.datetime.now(
+        datetime.timezone.utc
+    ).isoformat(timespec="seconds")
     history.append({
-        "recorded_at": datetime.datetime.now(
-            datetime.timezone.utc
-        ).isoformat(timespec="seconds"),
+        "recorded_at": recorded_at,
         "scale": bench_scale(),
         "smoke": smoke_run,
         "metrics": metrics,
+        "env": environment_fingerprint(),
     })
     path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    RunLedger(directory / "BENCH_LEDGER.jsonl").append(
+        RunRecord.capture(
+            "benchmark",
+            config={
+                "bench": name,
+                "scale": bench_scale(),
+                "smoke": smoke_run,
+            },
+            metrics=metrics,
+        )
+    )
     return path
 
 
@@ -96,10 +153,14 @@ def record(request: pytest.FixtureRequest):
     """Session recorder: ``record(name, **metrics)``; no-op sans --record."""
     enabled = bool(request.config.getoption("--record"))
     smoke_run = bool(request.config.getoption("--smoke"))
+    record_dir = request.config.getoption("--record-dir")
+    directory = Path(record_dir) if record_dir else None
 
     def _record(name: str, **metrics: float):
         if not enabled:
             return None
-        return record_metrics(name, metrics, smoke_run=smoke_run)
+        return record_metrics(
+            name, metrics, directory, smoke_run=smoke_run
+        )
 
     return _record

@@ -1,4 +1,4 @@
-"""R5 span-context rule for the observability layer.
+"""R5 observability-discipline rules (span context, metric naming).
 
 A span's interval is defined by its ``with`` block: ``Span.__exit__``
 stops the clock and (for tracer-owned spans) pops the thread-local
@@ -15,17 +15,35 @@ depth/parent bookkeeping for every later span on that thread, and
 silently drops the interval from the trace.  **R501** makes the
 convention checkable: every ``.span(...)`` call must be used directly
 as a ``with``-item (``with tracer.span(...) as s:``).
+
+**R502** enforces metric-name hygiene where families are declared —
+``get_metrics().counter/gauge/histogram(...)`` call sites (including
+module/local aliases of the registry): the name must be a string
+literal (greppable, and the alert rules in :mod:`repro.obs.alerts`
+reference metrics by exact name), must match ``repro_[a-z0-9_]*``
+(one namespace on a shared Prometheus endpoint), counters must end in
+``_total`` (the Prometheus counter convention the rate()-style queries
+assume), and ``labelnames`` must be a literal tuple/list of string
+literals (a computed label set is an unbounded-cardinality bug waiting
+to happen).
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.analysis.finding import Finding
-from repro.analysis.framework import LintRun, ParsedModule, Rule, register
+from repro.analysis.framework import (
+    LintRun,
+    ParsedModule,
+    Rule,
+    dotted_name,
+    register,
+)
 
-__all__ = ["SpanContextRule"]
+__all__ = ["MetricNameRule", "SpanContextRule"]
 
 
 def _with_item_calls(tree: ast.Module) -> set:
@@ -73,3 +91,128 @@ class SpanContextRule(Rule):
                     "span driven manually: use it as a 'with ...span(...)"
                     " as s:' item so __exit__ always records the interval",
                 )
+
+
+_REGISTRY_KINDS = ("counter", "gauge", "histogram")
+_REGISTRY_SOURCES = ("get_metrics", "enable_metrics")
+_METRIC_NAME = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+
+
+def _is_registry_call(node: ast.AST) -> bool:
+    """Whether an expression is a ``get_metrics()``-style call."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] in _REGISTRY_SOURCES
+
+
+def _registry_aliases(tree: ast.Module) -> set:
+    """Names bound (anywhere) to a ``get_metrics()``-style call.
+
+    Covers both the plain ``metrics = get_metrics()`` alias and the
+    tuple-unpack form ``tracer, metrics = get_tracer(), get_metrics()``.
+    """
+    aliases: set = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and _is_registry_call(node.value):
+                aliases.add(target.id)
+            elif (isinstance(target, (ast.Tuple, ast.List))
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                    and len(target.elts) == len(node.value.elts)):
+                for element, value in zip(target.elts, node.value.elts):
+                    if (isinstance(element, ast.Name)
+                            and _is_registry_call(value)):
+                        aliases.add(element.id)
+    return aliases
+
+
+def _literal_str(node: ast.AST | None) -> str | None:
+    """The value of a string-literal node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register
+class MetricNameRule(Rule):
+    """R502: metric declarations must follow the naming conventions."""
+
+    rule_id = "R502"
+    title = "metric name hygiene"
+
+    def check(self, module: ParsedModule, run: LintRun) -> Iterator[Finding]:
+        """Flag unconventional metric declarations.
+
+        Parameters
+        ----------
+        module:
+            The parsed module.
+        run:
+            Shared run state (provides the config).
+
+        Returns
+        -------
+        Iterator[Finding]
+            One finding per convention breach at a
+            ``counter/gauge/histogram`` call on a metrics registry:
+            non-literal or badly named metric, a counter without the
+            ``_total`` suffix, or a non-literal ``labelnames``.
+        """
+        aliases = _registry_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _REGISTRY_KINDS):
+                continue
+            receiver = node.func.value
+            if not (_is_registry_call(receiver)
+                    or (isinstance(receiver, ast.Name)
+                        and receiver.id in aliases)):
+                continue
+            kind = node.func.attr
+            yield from self._check_call(module, node, kind)
+
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, kind: str
+    ) -> Iterator[Finding]:
+        """Apply the naming checks to one registry accessor call."""
+        name_node = node.args[0] if node.args else next(
+            (kw.value for kw in node.keywords if kw.arg == "name"), None
+        )
+        where = (str(module.path), node.lineno, node.col_offset, self.rule_id)
+        name = _literal_str(name_node)
+        if name is None:
+            yield Finding(
+                *where,
+                f"{kind} name must be a string literal (alert rules and "
+                f"dashboards reference metrics by exact name)",
+            )
+        elif not _METRIC_NAME.match(name):
+            yield Finding(
+                *where,
+                f"metric name {name!r} must match 'repro_[a-z][a-z0-9_]*' "
+                f"(project namespace, lower_snake_case)",
+            )
+        elif kind == "counter" and not name.endswith("_total"):
+            yield Finding(
+                *where,
+                f"counter {name!r} must end in '_total' (Prometheus "
+                f"counter convention)",
+            )
+        labelnames = next(
+            (kw.value for kw in node.keywords if kw.arg == "labelnames"),
+            None,
+        )
+        if labelnames is not None and not (
+            isinstance(labelnames, (ast.Tuple, ast.List))
+            and all(_literal_str(e) is not None for e in labelnames.elts)
+        ):
+            yield Finding(
+                *where,
+                "labelnames must be a literal tuple/list of string "
+                "literals (computed label sets risk unbounded "
+                "cardinality)",
+            )

@@ -1,6 +1,6 @@
 """Command-line interface: sparsify Matrix Market graphs from the shell.
 
-Six subcommands:
+Seven subcommands:
 
 ``sparsify``
     Compute a σ²-similar sparsifier of a ``.mtx`` graph/SDD matrix.
@@ -48,6 +48,17 @@ Six subcommands:
     over source trees: determinism (R1xx), stage-contract (R2xx),
     lock-discipline (R3xx) and API-hygiene (R4xx) rules, with text or
     JSON output.  See ``docs/LINTING.md`` for the rule catalogue.
+``obs``
+    Turn collected observability data into decisions
+    (:mod:`repro.obs.analyze`, :mod:`repro.obs.ledger`):
+    ``obs report`` aggregates a ``--trace`` JSON into per-span
+    totals/self-times and the critical path; ``obs diff`` attributes
+    the wall-clock delta between two traces to span names;
+    ``obs runs list/show/diff`` reads a ``--ledger`` JSONL of run
+    records; ``obs check-regressions`` gates the newest record of
+    every ``BENCH_*.json`` trajectory against a median+MAD baseline
+    and exits non-zero on regressions (the CI perf gate).  See
+    ``docs/OBSERVABILITY.md``.
 
 Examples
 --------
@@ -91,8 +102,20 @@ Lint the source tree and benchmarks (the CI static-analysis gate)::
 
     python -m repro lint src benchmarks
 
+Summarize a captured trace, then explain a slowdown between two runs::
+
+    python -m repro obs report trace.json
+    python -m repro obs diff fast.json slow.json
+
+Keep a durable ledger of runs and gate benchmark trajectories::
+
+    python -m repro sparsify input.mtx -o out.mtx --ledger runs.jsonl
+    python -m repro obs runs list runs.jsonl
+    python -m repro obs check-regressions benchmarks/
+
 Exit codes are distinct per failure class: ``0`` success, ``1`` lint
-findings (``lint`` only), ``2`` usage errors (argparse and mutually
+findings (``lint``) or flagged regressions (``obs
+check-regressions``), ``2`` usage errors (argparse and mutually
 exclusive flags), ``3`` missing input files, ``4`` invalid input data
 (malformed files, bad parameter values).
 """
@@ -101,6 +124,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 
 from repro import __version__
@@ -109,14 +133,17 @@ from repro.graphs.io import load_graph_matrix_market, write_matrix_market
 
 __all__ = [
     "main",
+    "run",
     "build_parser",
     "EXIT_LINT_FINDINGS",
+    "EXIT_REGRESSIONS",
     "EXIT_USAGE",
     "EXIT_MISSING_INPUT",
     "EXIT_INVALID_DATA",
 ]
 
 EXIT_LINT_FINDINGS = 1
+EXIT_REGRESSIONS = 1
 EXIT_USAGE = 2
 EXIT_MISSING_INPUT = 3
 EXIT_INVALID_DATA = 4
@@ -186,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sparsify.add_argument("--trace", default=None, metavar="JSON",
                             help="write a Chrome-trace-event file of the "
                                  "run (view in Perfetto)")
+    p_sparsify.add_argument("--ledger", default=None, metavar="JSONL",
+                            help="append a run record (config, seed, "
+                                 "sigma^2 outcome, stage timings, env "
+                                 "fingerprint) to this JSONL ledger")
 
     p_stream = sub.add_parser(
         "stream",
@@ -227,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--trace", default=None, metavar="JSON",
                           help="write a Chrome-trace-event file of the "
                                "replay (view in Perfetto)")
+    p_stream.add_argument("--ledger", default=None, metavar="JSONL",
+                          help="append a run record (config, seed, replay "
+                               "outcome, env fingerprint) to this JSONL "
+                               "ledger")
 
     p_serve = sub.add_parser(
         "serve",
@@ -297,6 +332,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", default=None,
         help="comma-separated rule ids to run (default: all)",
     )
+
+    p_obs = sub.add_parser(
+        "obs", help="analyze traces, run ledgers and benchmark trajectories"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_report = obs_sub.add_parser(
+        "report", help="aggregate a Chrome-trace JSON into a span report"
+    )
+    p_report.add_argument("trace", help="trace file written by --trace")
+    p_report.add_argument("--top", type=int, default=20,
+                          help="span names to show (default 20)")
+    p_report.add_argument("--format", choices=("text", "json"),
+                          default="text", help="report format (default text)")
+
+    p_diff = obs_sub.add_parser(
+        "diff", help="attribute the wall-clock delta between two traces"
+    )
+    p_diff.add_argument("trace_a", help="baseline trace file")
+    p_diff.add_argument("trace_b", help="comparison trace file")
+    p_diff.add_argument("--top", type=int, default=20,
+                        help="rows to show (default 20)")
+    p_diff.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format (default text)")
+
+    p_runs = obs_sub.add_parser(
+        "runs", help="inspect a JSONL run ledger (--ledger output)"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="one line per run")
+    p_runs_list.add_argument("ledger", help="JSONL ledger file")
+    p_runs_show = runs_sub.add_parser("show", help="full record of one run")
+    p_runs_show.add_argument("ledger", help="JSONL ledger file")
+    p_runs_show.add_argument("--index", type=int, default=-1,
+                             help="run index, negatives from the end "
+                                  "(default -1: newest)")
+    p_runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs (config, env, metrics, stages)"
+    )
+    p_runs_diff.add_argument("ledger", help="JSONL ledger file")
+    p_runs_diff.add_argument("--a", type=int, default=-2,
+                             help="baseline run index (default -2)")
+    p_runs_diff.add_argument("--b", type=int, default=-1,
+                             help="comparison run index (default -1)")
+
+    p_gate = obs_sub.add_parser(
+        "check-regressions",
+        help="gate BENCH_*.json trajectories against a median+MAD baseline",
+    )
+    p_gate.add_argument("directory", nargs="?", default="benchmarks",
+                        help="directory of BENCH_*.json files "
+                             "(default benchmarks)")
+    p_gate.add_argument("--tolerance", type=float, default=0.5,
+                        help="relative deviation floor before a metric "
+                             "flags (default 0.5)")
+    p_gate.add_argument("--mad-k", type=float, default=4.0,
+                        help="robust-sigma multiplier on the MAD allowance "
+                             "term (default 4.0)")
+    p_gate.add_argument("--min-history", type=int, default=2,
+                        help="comparable prior runs required before gating "
+                             "a file (default 2)")
+    p_gate.add_argument("--abs-tolerance", type=float, default=0.0,
+                        help="absolute allowance floor, for metrics whose "
+                             "baseline sits near zero (default 0.0)")
+    p_gate.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format (default text)")
     return parser
 
 
@@ -346,6 +447,18 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
     if args.profile and result.profile is not None:
         print(result.profile.table())
     print(f"written: {args.output}")
+    if args.ledger:
+        from repro.obs.ledger import RunLedger, RunRecord
+
+        config = {
+            "input": args.input, "sigma2": args.sigma2, "tree": args.tree,
+            "workers": args.workers, "shard_max_nodes": args.shard_max_nodes,
+            "backend": args.backend, "kernel_backend": args.kernel_backend,
+        }
+        RunLedger(args.ledger).append(
+            RunRecord.from_result(result, config=config, seed=args.seed)
+        )
+        print(f"ledger: {args.ledger}")
     return 0
 
 
@@ -411,6 +524,31 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.checkpoint_out:
         npz_path, json_path = save_dynamic(args.checkpoint_out, dyn)
         print(f"checkpoint: {npz_path} + {json_path}")
+    if args.ledger:
+        from repro.obs.ledger import RunLedger, RunRecord
+
+        config = {
+            "events": args.events, "batch_size": args.batch_size,
+            "sigma2": float(dyn.sigma2), "resume": args.resume,
+            "kernel_backend": args.kernel_backend,
+        }
+        metrics = {
+            "num_events": len(events),
+            "batches": len(reports),
+            "replay_seconds": float(total),
+            "sparsifier_edges": int(dyn.num_edges),
+            "sigma2_target": float(dyn.sigma2),
+            "sigma2_estimate": float(dyn.last_estimate),
+            "redensify_count": int(dyn.redensify_count),
+            "tree_repair_count": int(dyn.tree_repair_count),
+        }
+        RunLedger(args.ledger).append(
+            RunRecord.capture(
+                "stream", config=config, seed=args.seed, metrics=metrics,
+                stages=dyn.profile.as_dict(),
+            )
+        )
+        print(f"ledger: {args.ledger}")
     return 0
 
 
@@ -496,6 +634,85 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_LINT_FINDINGS if result.findings else 0
 
 
+def _ledger_records(path: str) -> list:
+    """Load a ledger for the ``obs runs`` commands, strict about inputs."""
+    from pathlib import Path
+
+    from repro.obs.ledger import RunLedger
+
+    if not Path(path).exists():
+        raise FileNotFoundError(path)
+    records = RunLedger(path).records()
+    if not records:
+        raise ValueError(f"{path}: ledger holds no parseable run records")
+    return records
+
+
+def _pick_run(records: list, index: int, path: str):
+    """Index into a ledger with a CLI-friendly error message."""
+    try:
+        return records[index]
+    except IndexError:
+        raise ValueError(
+            f"{path}: run index {index} out of range "
+            f"({len(records)} records)"
+        ) from None
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    if args.obs_command == "report":
+        from repro.obs.analyze import build_report, load_trace, render_report
+
+        report = build_report(load_trace(args.trace), top=args.top)
+        if args.format == "json":
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_report(report))
+        return 0
+    if args.obs_command == "diff":
+        from repro.obs.analyze import diff_traces, load_trace, render_diff
+
+        diff = diff_traces(load_trace(args.trace_a), load_trace(args.trace_b))
+        if args.format == "json":
+            print(json.dumps(diff, indent=2))
+        else:
+            print(render_diff(diff, top=args.top))
+        return 0
+    if args.obs_command == "runs":
+        records = _ledger_records(args.ledger)
+        if args.runs_command == "list":
+            for i, record in enumerate(records):
+                print(f"[{i}] {record.summary()}")
+        elif args.runs_command == "show":
+            record = _pick_run(records, args.index, args.ledger)
+            print(json.dumps(record.as_dict(), indent=2))
+        else:
+            from repro.obs.ledger import diff_runs
+
+            diff = diff_runs(
+                _pick_run(records, args.a, args.ledger),
+                _pick_run(records, args.b, args.ledger),
+            )
+            print(json.dumps(diff, indent=2))
+        return 0
+    from repro.obs.ledger import check_regressions
+
+    report = check_regressions(
+        args.directory,
+        rel_tolerance=args.tolerance,
+        mad_k=args.mad_k,
+        min_history=args.min_history,
+        abs_tolerance=args.abs_tolerance,
+    )
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else EXIT_REGRESSIONS
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -507,10 +724,11 @@ def main(argv: list[str] | None = None) -> int:
     Returns
     -------
     int
-        ``0`` on success; ``1`` when ``lint`` reports findings; ``2``
-        usage error (raised as ``SystemExit`` by argparse, returned
-        directly for flag conflicts); ``3`` when an input file is
-        missing; ``4`` on invalid input data.
+        ``0`` on success; ``1`` when ``lint`` reports findings or
+        ``obs check-regressions`` flags a regression; ``2`` usage
+        error (raised as ``SystemExit`` by argparse, returned directly
+        for flag conflicts); ``3`` when an input file is missing;
+        ``4`` on invalid input data.
     """
     args = build_parser().parse_args(argv)
     handlers = {
@@ -520,6 +738,7 @@ def main(argv: list[str] | None = None) -> int:
         "similarity": _cmd_similarity,
         "generate": _cmd_generate,
         "lint": _cmd_lint,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)
@@ -529,7 +748,32 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"error: invalid input: {exc}", file=sys.stderr)
         return EXIT_INVALID_DATA
+    except BrokenPipeError:
+        # Reader closed early (`repro obs report | head`): not an
+        # error.  The entry point (`run`) parks stdout on devnull so
+        # interpreter shutdown doesn't trip over the dead pipe.
+        return 0
+
+
+def run() -> None:  # pragma: no cover - exercised via subprocess tests
+    """Process entry point: :func:`main` plus dead-pipe hygiene.
+
+    Returns
+    -------
+    None
+        Exits the process via :func:`sys.exit`.
+    """
+    code = main()
+    # Flush now, while we can still handle a reader that closed the
+    # pipe; park stdout on devnull so interpreter shutdown doesn't
+    # raise from the same dead fd.
+    try:
+        sys.stdout.flush()
+    except BrokenPipeError:
+        with contextlib.suppress(OSError, ValueError):
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(code)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
-    sys.exit(main())
+    run()

@@ -18,6 +18,13 @@ scope.  Observability is strictly passive: it never touches RNG
 streams or numeric state, and the parity suite in ``tests/obs`` pins
 masks, trees, σ² estimates and RNG streams bit-identical with
 collectors enabled vs disabled.
+
+Consumption of the collected data lives in three sibling modules:
+:mod:`repro.obs.analyze` (trace reports, critical path, trace diffs),
+:mod:`repro.obs.ledger` (durable run records and the benchmark
+regression gate) and :mod:`repro.obs.alerts` (declarative SLO rules
+behind the serving tier's ``/health``).  They are imported lazily so
+the instrumented hot path never pays for them.
 """
 
 from __future__ import annotations
@@ -48,13 +55,44 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "alerts",
+    "analyze",
     "configure",
     "disable",
     "enable_metrics",
     "get_metrics",
     "get_tracer",
+    "ledger",
     "observed",
 ]
+
+_LAZY_SUBMODULES = ("alerts", "analyze", "ledger")
+
+
+def __getattr__(name: str):
+    """Import the analysis submodules on first attribute access.
+
+    Parameters
+    ----------
+    name:
+        The requested attribute.
+
+    Returns
+    -------
+    module
+        One of :mod:`repro.obs.alerts`, :mod:`repro.obs.analyze`,
+        :mod:`repro.obs.ledger`.
+
+    Raises
+    ------
+    AttributeError
+        For any other missing name.
+    """
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.obs.{name}")
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
 
 _active_tracer = NULL_TRACER
 _active_metrics = NULL_METRICS

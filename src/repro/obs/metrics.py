@@ -38,6 +38,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetrics",
+    "quantile_from_counts",
 ]
 
 #: Default histogram upper bounds (seconds-flavoured, Prometheus-style);
@@ -76,6 +77,59 @@ def _label_key(labelnames: tuple, labels: dict) -> str:
             f"expected labels {sorted(labelnames)}, got {sorted(labels)}"
         )
     return json.dumps([str(labels[name]) for name in labelnames])
+
+
+def quantile_from_counts(
+    buckets: tuple, counts: list, count: int, q: float
+) -> float:
+    """Estimate a quantile from raw histogram bucket counts.
+
+    Linear interpolation inside the bucket that crosses the target
+    rank — the standard ``histogram_quantile`` estimator.  The overflow
+    bucket is clamped to the last finite bound.  This is the shared
+    core behind :meth:`Histogram.quantile` and the alert engine's
+    evaluation of snapshot payloads
+    (:func:`repro.obs.alerts.evaluate`).
+
+    Parameters
+    ----------
+    buckets:
+        Finite upper bounds, sorted ascending.
+    counts:
+        Per-bucket (non-cumulative) counts, one slot per bound plus the
+        final overflow slot.
+    count:
+        Total observation count (sum of ``counts``).
+    q:
+        Quantile in ``[0, 1]`` (0.5 = p50, 0.99 = p99).
+
+    Returns
+    -------
+    float
+        The estimated quantile, or ``nan`` with no observations.
+
+    Raises
+    ------
+    ValueError
+        If ``q`` is outside ``[0, 1]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return float("nan")
+    target = q * count
+    cumulative = 0.0
+    for i, bucket_count in enumerate(counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count:
+            if i >= len(buckets):
+                return buckets[-1]
+            lower = buckets[i - 1] if i else 0.0
+            upper = buckets[i]
+            fraction = (target - previous) / bucket_count
+            return lower + (upper - lower) * fraction
+    return buckets[-1]
 
 
 def _fmt(value: float) -> str:
@@ -324,26 +378,18 @@ class Histogram(_Metric):
         ValueError
             If ``q`` is outside ``[0, 1]``.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             key = _label_key(self.labelnames, labels)
             child = self._children.get(key)
-            if child is None or child["count"] == 0:
+            if child is None:
+                if not 0.0 <= q <= 1.0:
+                    raise ValueError(
+                        f"quantile must be in [0, 1], got {q}"
+                    )
                 return float("nan")
-            target = q * child["count"]
-            cumulative = 0.0
-            for i, bucket_count in enumerate(child["counts"]):
-                previous = cumulative
-                cumulative += bucket_count
-                if cumulative >= target and bucket_count:
-                    if i >= len(self.buckets):
-                        return self.buckets[-1]
-                    lower = self.buckets[i - 1] if i else 0.0
-                    upper = self.buckets[i]
-                    fraction = (target - previous) / bucket_count
-                    return lower + (upper - lower) * fraction
-            return self.buckets[-1]
+            return quantile_from_counts(
+                self.buckets, child["counts"], child["count"], q
+            )
 
 
 class MetricsRegistry:

@@ -18,6 +18,10 @@ GET      ``/metrics``           Prometheus text exposition of the process
                                 metrics registry (latency histograms,
                                 registry hit/miss counters, solver/kernel
                                 counters — ``text/plain``, not JSON)
+GET      ``/health``            SLO alert-rule evaluation over the live
+                                metrics snapshot — ``200`` when every
+                                rule passes, ``503`` otherwise, with a
+                                per-rule JSON body either way
 POST     ``/graphs``            register ``{n, u, v, w, sigma2?, seed?, ...}``
 POST     ``/query/resistance``  ``{key, pairs}`` → effective resistances
 POST     ``/query/similarity``  ``{key, pairs}`` → ``w·R_eff`` edge scores
@@ -52,6 +56,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.obs import enable_metrics, get_metrics, get_tracer
+from repro.obs.alerts import default_serving_rules, evaluate_rules
 from repro.serve.registry import SparsifierRegistry
 from repro.stream.events import EdgeDelete, EdgeEvent, EdgeInsert, WeightUpdate
 
@@ -63,7 +68,7 @@ _EVENT_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
 #: Known routes — the label space of the per-endpoint latency histogram
 #: (unknown paths pool under ``"other"`` so labels stay bounded).
 _ENDPOINTS = frozenset({
-    "/stats", "/metrics", "/graphs", "/query/resistance",
+    "/stats", "/metrics", "/health", "/graphs", "/query/resistance",
     "/query/similarity", "/query/solve", "/query/embedding", "/events",
     "/shutdown",
 })
@@ -133,9 +138,13 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/stats":
                 payload = self.service._registry.describe()
                 payload["metrics"] = get_metrics().snapshot()
+                payload["health"] = self.service.health_report().as_dict()
                 self._send(200, payload)
             elif self.path == "/metrics":
                 self._send_text(200, get_metrics().render_prometheus())
+            elif self.path == "/health":
+                report = self.service.health_report()
+                self._send(200 if report.healthy else 503, report.as_dict())
             else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
         self._observe_request(span)
@@ -193,6 +202,11 @@ class SparsifierService:
         False to leave the ambient observability configuration alone
         (``/metrics`` then renders whatever is active — an empty body
         when disabled).
+    alert_rules:
+        SLO rules evaluated by ``GET /health`` (and echoed in
+        ``/stats``); default
+        :func:`repro.obs.alerts.default_serving_rules`.  Pass an
+        empty tuple for an always-healthy service.
 
     Examples
     --------
@@ -213,8 +227,12 @@ class SparsifierService:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: bool = True,
+        alert_rules=None,
     ) -> None:
         self._registry = registry
+        self.alert_rules = tuple(
+            default_serving_rules() if alert_rules is None else alert_rules
+        )
         if metrics:
             enable_metrics()
         handler = type("_BoundHandler", (_Handler,), {"service": self})
@@ -237,6 +255,18 @@ class SparsifierService:
         """Base URL clients should talk to."""
         host, port = self.address
         return f"http://{host}:{port}"
+
+    def health_report(self):
+        """Evaluate the service's alert rules against live metrics.
+
+        Returns
+        -------
+        repro.obs.alerts.HealthReport
+            Per-rule verdicts over the current
+            :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; this
+            is what ``GET /health`` serializes.
+        """
+        return evaluate_rules(self.alert_rules, get_metrics().snapshot())
 
     def start(self) -> None:
         """Start serving on a daemon thread (idempotent)."""
@@ -370,11 +400,16 @@ class ServiceError(RuntimeError):
     ----------
     status:
         The HTTP status code.
+    body:
+        The parsed JSON response body when the error response carried
+        one (``None`` otherwise) — a 503 from ``/health`` puts the
+        per-rule verdicts here.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, body: dict | None = None) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = int(status)
+        self.body = body
 
 
 class ServeClient:
@@ -404,11 +439,15 @@ class ServeClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
+            body = None
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
+                body = json.loads(exc.read())
+                message = body.get("error", str(exc)) if isinstance(
+                    body, dict
+                ) else str(exc)
             except (json.JSONDecodeError, ValueError):  # pragma: no cover
                 message = str(exc)
-            raise ServiceError(exc.code, message) from exc
+            raise ServiceError(exc.code, message, body=body) from exc
 
     def register(self, graph: Graph, **params) -> str:
         """Register a graph with the service.
@@ -562,6 +601,31 @@ class ServeClient:
         request = urllib.request.Request(self.url + "/metrics", method="GET")
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             return response.read().decode("utf-8")
+
+    def health(self) -> dict:
+        """SLO health from ``GET /health`` (both 200 and 503 bodies).
+
+        Unlike the other client methods, a 503 is a *result* here — the
+        load-balancer contract encodes "unhealthy" in the status code
+        while the body still carries the per-rule verdicts.
+
+        Returns
+        -------
+        dict
+            ``{"healthy": bool, "rules": [...]}`` regardless of
+            status code.
+
+        Raises
+        ------
+        ServiceError
+            For any non-200, non-503 response.
+        """
+        try:
+            return self._request("GET", "/health")
+        except ServiceError as exc:
+            if exc.status != 503 or exc.body is None:
+                raise
+            return exc.body
 
     def shutdown(self) -> None:
         """Ask the service to stop serving (after it responds)."""

@@ -1,0 +1,30 @@
+"""R502 true-positive fixture: metric declarations breaking conventions."""
+
+from repro.obs import get_metrics
+
+metrics = get_metrics()
+
+
+def non_literal_name(suffix):
+    """R502: a computed metric name cannot be grepped or alerted on."""
+    get_metrics().counter("repro_" + suffix + "_total").inc()
+
+
+def missing_prefix():
+    """R502: outside the project's Prometheus namespace."""
+    get_metrics().gauge("drift_ratio").set(1.0)
+
+
+def counter_without_total():
+    """R502: counter missing the ``_total`` convention suffix."""
+    metrics.counter("repro_cache_hits").inc()
+
+
+def computed_labelnames(names):
+    """R502: non-literal labelnames risk unbounded cardinality."""
+    metrics.histogram("repro_request_seconds", labelnames=names).observe(0.1)
+
+
+def bad_case_via_alias():
+    """R502: upper case breaks the lower_snake_case requirement."""
+    metrics.gauge("repro_DriftRatio").set(2.0)

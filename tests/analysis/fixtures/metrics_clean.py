@@ -1,0 +1,23 @@
+"""R502 clean fixture: conforming declarations and out-of-scope calls."""
+
+from repro.obs import enable_metrics, get_metrics, get_tracer
+
+tracer, metrics = get_tracer(), get_metrics()
+
+
+def conforming_calls():
+    """Literal names in the project namespace, counters end ``_total``."""
+    get_metrics().counter(
+        "repro_cache_hits_total", "Cache hits.", labelnames=("tier",)
+    ).inc(tier="memory")
+    metrics.gauge("repro_stream_drift_ratio").set(1.0)
+    enable_metrics().histogram(
+        "repro_request_seconds", labelnames=["endpoint"]
+    ).observe(0.1, endpoint="/stats")
+
+
+def not_a_registry(database, name):
+    """Same method names on unrelated receivers are not the rule's
+    business."""
+    database.counter(name).inc()
+    database.gauge(name + "_latest").set(0)

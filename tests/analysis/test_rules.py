@@ -136,3 +136,20 @@ def test_observability_bad_fixture_fires():
 def test_observability_clean_fixture_passes():
     rules, _ = _rules(FIXTURES / "obs_clean.py")
     assert "R501" not in rules
+
+
+def test_metric_name_bad_fixture_fires():
+    rules, result = _rules(FIXTURES / "metrics_bad.py")
+    # non-literal name, missing prefix, counter sans _total, computed
+    # labelnames, bad case via alias
+    assert rules.count("R502") == 5
+    messages = [f.message for f in result.findings if f.rule == "R502"]
+    assert any("string literal" in m for m in messages)
+    assert any("repro_[a-z]" in m for m in messages)
+    assert any("_total" in m for m in messages)
+    assert any("labelnames" in m for m in messages)
+
+
+def test_metric_name_clean_fixture_passes():
+    rules, _ = _rules(FIXTURES / "metrics_clean.py")
+    assert "R502" not in rules

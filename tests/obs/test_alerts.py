@@ -1,0 +1,217 @@
+"""Unit tests for the SLO alert engine (`repro.obs.alerts`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.alerts import (
+    AlertRule,
+    default_serving_rules,
+    evaluate,
+    evaluate_rules,
+)
+from repro.obs.metrics import quantile_from_counts
+
+
+class TestQuantileFromCounts:
+    def test_matches_histogram_quantile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_q_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        snap = registry.snapshot()["repro_q_seconds"]
+        child = snap["values"]["[]"]
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert quantile_from_counts(
+                tuple(snap["buckets"]), child["counts"], child["count"], q
+            ) == pytest.approx(hist.quantile(q))
+
+    def test_empty_is_nan(self):
+        import math
+        assert math.isnan(quantile_from_counts((1.0,), [0, 0], 0, 0.5))
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_from_counts((1.0,), [1, 0], 1, 1.5)
+
+
+class TestAlertRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown alert kind"):
+            AlertRule(name="x", kind="median_max", metric="m", threshold=1.0)
+
+    def test_ratio_requires_denominator(self):
+        with pytest.raises(ValueError, match="denominator"):
+            AlertRule(name="x", kind="ratio_max", metric="m", threshold=1.0)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError, match="quantile"):
+            AlertRule(name="x", kind="quantile_max", metric="m",
+                      threshold=1.0, quantile=2.0)
+
+
+class TestGaugeAndCounterRules:
+    def test_gauge_within_and_exceeding(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_stream_drift_ratio").set(1.2)
+        rule = AlertRule(name="drift", kind="gauge_max",
+                         metric="repro_stream_drift_ratio", threshold=1.5)
+        assert evaluate(rule, registry.snapshot()).ok
+        registry.gauge("repro_stream_drift_ratio").set(2.0)
+        result = evaluate(rule, registry.snapshot())
+        assert not result.ok
+        assert result.value == pytest.approx(2.0)
+        assert "EXCEEDS" in result.detail
+
+    def test_gauge_worst_child_decides(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_shard_lag", labelnames=("shard",))
+        gauge.set(0.1, shard="0")
+        gauge.set(9.0, shard="1")
+        rule = AlertRule(name="lag", kind="gauge_max",
+                         metric="repro_shard_lag", threshold=1.0)
+        result = evaluate(rule, registry.snapshot())
+        assert not result.ok
+        assert "shard=1" in result.detail
+
+    def test_counter_sums_children(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_errors_total", labelnames=("kind",))
+        counter.inc(3, kind="a")
+        counter.inc(4, kind="b")
+        rule = AlertRule(name="errors", kind="counter_max",
+                         metric="repro_errors_total", threshold=5)
+        result = evaluate(rule, registry.snapshot())
+        assert not result.ok
+        assert result.value == pytest.approx(7.0)
+
+    def test_absent_metric_passes(self):
+        rule = AlertRule(name="drift", kind="gauge_max",
+                         metric="repro_stream_drift_ratio", threshold=1.5)
+        result = evaluate(rule, {})
+        assert result.ok
+        assert result.value is None
+        assert "absent" in result.detail
+
+    def test_label_filter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total", labelnames=("kind",))
+        counter.inc(100, kind="noise")
+        counter.inc(1, kind="fatal")
+        rule = AlertRule(name="fatal", kind="counter_max",
+                         metric="repro_events_total",
+                         labels=(("kind", "fatal"),), threshold=5)
+        assert evaluate(rule, registry.snapshot()).ok
+
+
+class TestQuantileRules:
+    def _registry(self, slow_endpoint_samples=0):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_http_request_seconds", labelnames=("endpoint",)
+        )
+        for _ in range(50):
+            hist.observe(0.01, endpoint="/query/resistance")
+        for _ in range(slow_endpoint_samples):
+            hist.observe(3.0, endpoint="/query/solve")
+        return registry
+
+    def test_worst_endpoint_decides(self):
+        registry = self._registry(slow_endpoint_samples=50)
+        rule = AlertRule(name="p99", kind="quantile_max",
+                         metric="repro_http_request_seconds",
+                         threshold=0.5, quantile=0.99, min_count=30)
+        result = evaluate(rule, registry.snapshot())
+        assert not result.ok
+        assert "/query/solve" in result.detail
+
+    def test_min_count_guards_thin_endpoints(self):
+        registry = self._registry(slow_endpoint_samples=5)
+        rule = AlertRule(name="p99", kind="quantile_max",
+                         metric="repro_http_request_seconds",
+                         threshold=0.5, quantile=0.99, min_count=30)
+        # The slow endpoint has too few samples to trip the rule; the
+        # fast one is within the ceiling.
+        assert evaluate(rule, registry.snapshot()).ok
+
+    def test_not_a_histogram_passes(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_http_request_seconds").set(9.0)
+        rule = AlertRule(name="p99", kind="quantile_max",
+                         metric="repro_http_request_seconds", threshold=0.5)
+        assert evaluate(rule, registry.snapshot()).ok
+
+
+class TestRatioRules:
+    def _rule(self, threshold=0.5, min_count=10):
+        return AlertRule(
+            name="churn", kind="ratio_max",
+            metric="repro_registry_events_total",
+            labels=(("event", "eviction"),),
+            denominator="repro_registry_events_total",
+            threshold=threshold, min_count=min_count,
+        )
+
+    def test_eviction_churn(self):
+        registry = MetricsRegistry()
+        events = registry.counter(
+            "repro_registry_events_total", labelnames=("event",)
+        )
+        events.inc(8, event="hit")
+        events.inc(2, event="eviction")
+        assert evaluate(self._rule(), registry.snapshot()).ok
+        events.inc(10, event="eviction")
+        result = evaluate(self._rule(), registry.snapshot())
+        assert not result.ok
+        assert result.value == pytest.approx(12 / 20)
+
+    def test_min_count_guards_cold_start(self):
+        registry = MetricsRegistry()
+        events = registry.counter(
+            "repro_registry_events_total", labelnames=("event",)
+        )
+        events.inc(2, event="eviction")
+        result = evaluate(self._rule(), registry.snapshot())
+        assert result.ok
+        assert "min_count" in result.detail
+
+    def test_absent_denominator_passes(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_stream_repairs_total",
+                         labelnames=("tier",)).inc(5, tier="redensify")
+        rule = AlertRule(
+            name="tier3", kind="ratio_max",
+            metric="repro_stream_repairs_total",
+            labels=(("tier", "redensify"),),
+            denominator="repro_stream_batches_total", threshold=0.25,
+        )
+        assert evaluate(rule, registry.snapshot()).ok
+
+
+class TestHealthReport:
+    def test_all_rules_evaluated_in_order(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_stream_drift_ratio").set(99.0)
+        report = evaluate_rules(default_serving_rules(), registry.snapshot())
+        assert not report.healthy
+        names = [r.rule for r in report.results]
+        assert names == [
+            "stream_drift_ratio", "http_p99_latency",
+            "registry_eviction_churn", "stream_tier3_repairs",
+        ]
+        payload = report.as_dict()
+        assert payload["healthy"] is False
+        assert payload["rules"][0]["ok"] is False
+        json.dumps(payload)
+
+    def test_empty_rule_set_is_healthy(self):
+        assert evaluate_rules((), {}).healthy
+
+    def test_default_rules_healthy_on_quiet_registry(self):
+        report = evaluate_rules(
+            default_serving_rules(), MetricsRegistry().snapshot()
+        )
+        assert report.healthy

@@ -1,0 +1,104 @@
+"""Benchmark recording satellites: corrupt backup, env stamp, ledger mirror.
+
+``benchmarks/conftest.py`` is a pytest plugin, not a package module, so
+it is loaded here by file path.  These tests pin the behaviours the
+regression gate depends on: trajectories carry an environment
+fingerprint, corrupt history is quarantined (never silently reset), and
+every record is mirrored into a ``repro obs runs``-readable ledger.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.ledger import RunLedger, environment_fingerprint
+
+_CONFTEST = Path(__file__).parents[2] / "benchmarks" / "conftest.py"
+
+
+@pytest.fixture(scope="module")
+def bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest_under_test", _CONFTEST
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRecordMetrics:
+    def test_writes_trajectory_with_env(self, bench_conftest, tmp_path):
+        path = bench_conftest.record_metrics(
+            "demo", {"solve_s": 0.5}, tmp_path
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        history = json.loads(path.read_text(encoding="utf-8"))
+        assert len(history) == 1
+        record = history[0]
+        assert record["metrics"] == {"solve_s": 0.5}
+        assert record["smoke"] is False
+        assert record["recorded_at"]
+        assert record["env"] == environment_fingerprint()
+
+    def test_appends_across_runs(self, bench_conftest, tmp_path):
+        bench_conftest.record_metrics("demo", {"solve_s": 0.5}, tmp_path)
+        bench_conftest.record_metrics("demo", {"solve_s": 0.6}, tmp_path)
+        history = json.loads(
+            (tmp_path / "BENCH_demo.json").read_text(encoding="utf-8")
+        )
+        assert [r["metrics"]["solve_s"] for r in history] == [0.5, 0.6]
+
+    def test_mirrors_into_ledger(self, bench_conftest, tmp_path):
+        bench_conftest.record_metrics(
+            "demo", {"solve_s": 0.5}, tmp_path, smoke_run=True
+        )
+        records = RunLedger(tmp_path / "BENCH_LEDGER.jsonl").records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.kind == "benchmark"
+        assert record.config["bench"] == "demo"
+        assert record.config["smoke"] is True
+        assert record.metrics == {"solve_s": 0.5}
+        assert record.env == environment_fingerprint()
+
+    def test_creates_missing_directory(self, bench_conftest, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        path = bench_conftest.record_metrics("demo", {"x": 1.0}, target)
+        assert path.exists()
+
+
+class TestCorruptHistoryBackup:
+    def test_corrupt_json_backed_up_not_reset(self, bench_conftest, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text("{definitely not json", encoding="utf-8")
+        with pytest.warns(UserWarning, match="backed up to"):
+            bench_conftest.record_metrics("demo", {"x": 1.0}, tmp_path)
+        backups = list(tmp_path.glob("BENCH_demo.json.corrupt-*"))
+        assert len(backups) == 1
+        assert backups[0].read_text(encoding="utf-8") == \
+            "{definitely not json"
+        history = json.loads(path.read_text(encoding="utf-8"))
+        assert len(history) == 1  # fresh trajectory, old bytes preserved
+
+    def test_non_list_json_also_quarantined(self, bench_conftest, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({"not": "a list"}), encoding="utf-8")
+        with pytest.warns(UserWarning, match="corrupt"):
+            bench_conftest.record_metrics("demo", {"x": 1.0}, tmp_path)
+        assert list(tmp_path.glob("BENCH_demo.json.corrupt-*"))
+
+    def test_valid_history_untouched(self, bench_conftest, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps([
+            {"recorded_at": "t0", "scale": 0.6, "smoke": False,
+             "metrics": {"x": 9.0}},
+        ]), encoding="utf-8")
+        bench_conftest.record_metrics("demo", {"x": 1.0}, tmp_path)
+        history = json.loads(path.read_text(encoding="utf-8"))
+        assert len(history) == 2
+        assert history[0]["metrics"]["x"] == 9.0
+        assert not list(tmp_path.glob("*.corrupt-*"))

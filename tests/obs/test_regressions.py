@@ -1,0 +1,219 @@
+"""Regression-gate tests: median+MAD baselines over BENCH trajectories."""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import (
+    check_bench_file,
+    check_regressions,
+    metric_direction,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "BENCH_gate_demo.json"
+
+
+def _copy_fixture(directory: Path) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / FIXTURE.name
+    shutil.copy(FIXTURE, target)
+    return target
+
+
+def _append_record(path: Path, metrics: dict) -> None:
+    history = json.loads(path.read_text(encoding="utf-8"))
+    history.append({
+        "recorded_at": "2026-08-05T10:00:00+00:00",
+        "scale": 0.6,
+        "smoke": False,
+        "metrics": metrics,
+    })
+    path.write_text(json.dumps(history), encoding="utf-8")
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("name", [
+        "sparsify_s", "solve_seconds", "null_event_ns", "flush_ms",
+        "p99_latency", "enabled_overhead", "query_p50",
+    ])
+    def test_up_is_bad(self, name):
+        assert metric_direction(name) == "up_is_bad"
+
+    @pytest.mark.parametrize("name", [
+        "speedup", "throughput_qps", "vectorized_speedup",
+        "speedup_seconds",  # speedup wins over the timing suffix
+    ])
+    def test_down_is_bad(self, name):
+        assert metric_direction(name) == "down_is_bad"
+
+    @pytest.mark.parametrize("name", ["edges", "events_per_run", "converged"])
+    def test_ungated(self, name):
+        assert metric_direction(name) is None
+
+
+class TestCheckBenchFile:
+    def test_injected_2x_slowdown_flags(self, tmp_path):
+        path = _copy_fixture(tmp_path)
+        _append_record(path, {
+            "sparsify_s": 2.0, "solve_s": 0.2, "speedup": 4.2,
+            "edges": 5120,
+        })
+        regressions, status = check_bench_file(path)
+        assert [r.metric for r in regressions] == ["sparsify_s"]
+        finding = regressions[0]
+        assert finding.direction == "up_is_bad"
+        assert finding.value == pytest.approx(2.0)
+        assert finding.baseline == pytest.approx(1.01)
+        assert finding.history == 4
+        assert "sparsify_s" in finding.describe()
+        assert status["gated"] == 3  # sparsify_s, solve_s, speedup
+
+    def test_within_noise_stays_quiet(self, tmp_path):
+        path = _copy_fixture(tmp_path)
+        _append_record(path, {
+            "sparsify_s": 1.03, "solve_s": 0.203, "speedup": 4.15,
+            "edges": 5121,
+        })
+        regressions, _ = check_bench_file(path)
+        assert regressions == []
+
+    def test_speedup_collapse_flags_downward(self, tmp_path):
+        path = _copy_fixture(tmp_path)
+        _append_record(path, {
+            "sparsify_s": 1.0, "solve_s": 0.2, "speedup": 1.1,
+            "edges": 5120,
+        })
+        regressions, _ = check_bench_file(path)
+        assert [r.metric for r in regressions] == ["speedup"]
+        assert regressions[0].direction == "down_is_bad"
+
+    def test_ungated_metric_never_flags(self, tmp_path):
+        path = _copy_fixture(tmp_path)
+        _append_record(path, {
+            "sparsify_s": 1.0, "solve_s": 0.2, "speedup": 4.2,
+            "edges": 99999,
+        })
+        regressions, _ = check_bench_file(path)
+        assert regressions == []
+
+    def test_thin_history_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_thin.json"
+        path.write_text(json.dumps([
+            {"recorded_at": "t0", "scale": 0.6, "smoke": False,
+             "metrics": {"solve_s": 1.0}},
+            {"recorded_at": "t1", "scale": 0.6, "smoke": False,
+             "metrics": {"solve_s": 5.0}},
+        ]), encoding="utf-8")
+        regressions, status = check_bench_file(path)
+        assert regressions == []
+        assert "skipped" in status
+
+    def test_priors_filtered_by_scale_and_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_mixed.json"
+        # Two smoke priors at a different scale must not pollute the
+        # baseline of the full-scale newest record.
+        path.write_text(json.dumps(
+            [{"recorded_at": f"t{i}", "scale": 0.1, "smoke": True,
+              "metrics": {"solve_s": 99.0}} for i in range(3)]
+            + [{"recorded_at": "t9", "scale": 0.6, "smoke": False,
+                "metrics": {"solve_s": 1.0}}]
+        ), encoding="utf-8")
+        regressions, status = check_bench_file(path)
+        assert regressions == []
+        assert "skipped" in status  # no comparable priors at all
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            check_bench_file(path)
+        path.write_text(json.dumps({"not": "a list"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="JSON list"):
+            check_bench_file(path)
+
+
+class TestCheckRegressions:
+    def test_sweeps_directory(self, tmp_path):
+        path = _copy_fixture(tmp_path)
+        _append_record(path, {
+            "sparsify_s": 2.0, "solve_s": 0.2, "speedup": 4.2,
+            "edges": 5120,
+        })
+        report = check_regressions(tmp_path)
+        assert not report.ok
+        assert len(report.regressions) == 1
+        assert "REGRESSIONS" in report.render()
+        payload = report.as_dict()
+        assert payload["ok"] is False
+        assert payload["regressions"][0]["metric"] == "sparsify_s"
+        json.dumps(payload)
+
+    def test_quiet_on_real_benchmarks_history(self):
+        # The repo's own trajectories must pass the gate as shipped.
+        report = check_regressions(Path(__file__).parents[2] / "benchmarks")
+        assert report.ok, report.render()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            check_regressions(tmp_path / "absent")
+
+    def test_tolerance_widens_the_band(self, tmp_path):
+        path = _copy_fixture(tmp_path)
+        _append_record(path, {
+            "sparsify_s": 2.0, "solve_s": 0.2, "speedup": 4.2,
+            "edges": 5120,
+        })
+        assert not check_regressions(tmp_path).ok
+        assert check_regressions(tmp_path, rel_tolerance=1.5).ok
+
+    def test_abs_tolerance_floors_near_zero_baselines(self, tmp_path):
+        # Overhead *ratios* jitter across zero at smoke scale: a
+        # relative band prices that at ~nothing, the absolute floor
+        # absorbs it without loosening second-scale metrics.
+        path = tmp_path / "BENCH_overhead.json"
+        path.write_text(json.dumps([
+            {"recorded_at": "t0", "scale": 0.6, "smoke": True,
+             "metrics": {"enabled_overhead": -0.006}},
+            {"recorded_at": "t1", "scale": 0.6, "smoke": True,
+             "metrics": {"enabled_overhead": 0.26}},
+        ]), encoding="utf-8")
+        assert not check_regressions(tmp_path, min_history=1).ok
+        assert check_regressions(
+            tmp_path, min_history=1, abs_tolerance=1.0
+        ).ok
+
+
+class TestGateCli:
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        path = _copy_fixture(tmp_path)
+        _append_record(path, {
+            "sparsify_s": 2.0, "solve_s": 0.2, "speedup": 4.2,
+            "edges": 5120,
+        })
+        code = main(["obs", "check-regressions", str(tmp_path)])
+        assert code == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_exit_zero_when_quiet(self, tmp_path, capsys):
+        _copy_fixture(tmp_path)
+        code = main(["obs", "check-regressions", str(tmp_path)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        _copy_fixture(tmp_path)
+        code = main([
+            "obs", "check-regressions", str(tmp_path), "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_missing_directory_exit_code(self, tmp_path, capsys):
+        code = main(["obs", "check-regressions", str(tmp_path / "absent")])
+        assert code == 3

@@ -296,3 +296,135 @@ class TestServeCommand:
         assert codes["exit"] == 0
         out = capsys.readouterr().out
         assert "registered" in out and "server stopped" in out
+
+
+class TestObsCommand:
+    @pytest.fixture
+    def traced_run(self, graph_file, tmp_path):
+        """One sparsify run with both a trace and a ledger captured."""
+        path, _ = graph_file
+        trace = tmp_path / "trace.json"
+        ledger = tmp_path / "runs.jsonl"
+        out = tmp_path / "sparse.mtx"
+        assert main([
+            "sparsify", str(path), "-o", str(out),
+            "--trace", str(trace), "--ledger", str(ledger),
+        ]) == 0
+        return trace, ledger
+
+    def test_report_text(self, traced_run, capsys):
+        trace, _ = traced_run
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "wall clock" in out
+
+    def test_report_json_critical_path_invariant(self, traced_run, capsys):
+        import json as json_mod
+
+        trace, _ = traced_run
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace), "--format", "json"]) == 0
+        report = json_mod.loads(capsys.readouterr().out)
+        path = report["critical_path"]
+        assert sum(e["path_seconds"] for e in path["entries"]) == \
+            pytest.approx(path["total_seconds"])
+
+    def test_diff_two_traces(self, graph_file, traced_run, tmp_path, capsys):
+        path, _ = graph_file
+        trace_a, _ = traced_run
+        trace_b = tmp_path / "b.json"
+        assert main([
+            "sparsify", str(path), "-o", str(tmp_path / "b.mtx"),
+            "--sigma2", "50", "--trace", str(trace_b),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(trace_a), str(trace_b)]) == 0
+        assert "wall clock" in capsys.readouterr().out
+
+    def test_report_missing_trace_exit_code(self, tmp_path, capsys):
+        assert main(
+            ["obs", "report", str(tmp_path / "absent.json")]
+        ) == EXIT_MISSING_INPUT
+
+    def test_report_invalid_trace_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope", encoding="utf-8")
+        assert main(["obs", "report", str(bad)]) == EXIT_INVALID_DATA
+
+    def test_runs_list_and_show(self, traced_run, capsys):
+        import json as json_mod
+
+        _, ledger = traced_run
+        capsys.readouterr()
+        assert main(["obs", "runs", "list", str(ledger)]) == 0
+        listed = capsys.readouterr().out
+        assert "[0]" in listed and "sparsify" in listed
+        assert main(["obs", "runs", "show", str(ledger)]) == 0
+        record = json_mod.loads(capsys.readouterr().out)
+        assert record["kind"] == "sparsify"
+        assert record["env"]["python"]
+        assert record["stages"]  # per-stage profile captured
+        assert record["config"]["tree"] == "akpw"
+
+    def test_runs_diff(self, graph_file, traced_run, tmp_path, capsys):
+        import json as json_mod
+
+        path, _ = graph_file
+        _, ledger = traced_run
+        assert main([
+            "sparsify", str(path), "-o", str(tmp_path / "c.mtx"),
+            "--sigma2", "50", "--ledger", str(ledger),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "runs", "diff", str(ledger)]) == 0
+        diff = json_mod.loads(capsys.readouterr().out)
+        assert diff["config"]["sigma2"] == [100.0, 50.0]
+
+    def test_runs_missing_ledger_exit_code(self, tmp_path, capsys):
+        assert main(
+            ["obs", "runs", "list", str(tmp_path / "absent.jsonl")]
+        ) == EXIT_MISSING_INPUT
+
+    def test_runs_bad_index_exit_code(self, traced_run, capsys):
+        _, ledger = traced_run
+        capsys.readouterr()
+        assert main(
+            ["obs", "runs", "show", str(ledger), "--index", "99"]
+        ) == EXIT_INVALID_DATA
+
+    def test_broken_pipe_exits_cleanly(self, traced_run, monkeypatch):
+        # `repro obs report trace.json | head` must not traceback when
+        # the reader closes the pipe early.
+        import builtins
+
+        trace, _ = traced_run
+
+        def dead_pipe(*args, **kwargs):
+            raise BrokenPipeError
+
+        monkeypatch.setattr(builtins, "print", dead_pipe)
+        assert main(["obs", "report", str(trace)]) == 0
+
+    def test_stream_ledger_flag(self, graph_file, tmp_path, capsys):
+        import json as json_mod
+
+        path, graph = graph_file
+        events = tmp_path / "events.jsonl"
+        events.write_text(
+            json_mod.dumps({"type": "insert", "u": 0, "v": int(graph.n - 1),
+                            "w": 2.0}) + "\n",
+            encoding="utf-8",
+        )
+        ledger = tmp_path / "runs.jsonl"
+        assert main([
+            "stream", str(events), "--graph", str(path),
+            "--sigma2", "150", "--ledger", str(ledger),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "runs", "show", str(ledger)]) == 0
+        record = json_mod.loads(capsys.readouterr().out)
+        assert record["kind"] == "stream"
+        assert record["metrics"]["num_events"] == 1
+        assert record["metrics"]["batches"] == 1
