@@ -8,7 +8,12 @@ The backend-comparison section runs every registered kernel backend
 (:mod:`repro.kernels`) head-to-head on the headline 200x200 grid,
 asserts bit parity, requires the vectorized scoring rewrite to beat
 ``reference`` by >= 1.5x, and (with ``--record``) appends per-backend
-timings to ``benchmarks/BENCH_kernels.json``.
+timings to ``benchmarks/BENCH_kernels.json``.  The estimator section
+pits the all-reference pipeline against ``kernel_backend=auto`` +
+``estimator_backend=auto``, surfaces the per-caller
+``repro_solver_solves_total`` counter in the recorded metrics, and
+gates the headline floors: >= 2x end-to-end wall clock and >= 3x
+fewer Laplacian solves (``BENCH_kernels_end_to_end.json``).
 
 Run explicitly (benchmarks are not collected by the default test run):
 
@@ -140,13 +145,15 @@ def test_backend_comparison(smoke, record):
     heats = {}
     for backend in ("reference",) + _CHALLENGERS:
         impl = kernel_impl("embedding", backend)
-        heats[backend], seconds = _best_of(
+        # Embedding impls return (heats, probe block); parity is on both.
+        (heats[backend], probes), seconds = _best_of(
             lambda impl=impl: impl(
                 graph, solver, off_tree, t=2, num_vectors=None,
                 seed=as_rng(3), LG=state.host_laplacian,
             ),
             repeats,
         )
+        assert probes.shape[0] == graph.n
         metrics[f"embedding_{backend}_s"] = seconds
     for backend in _CHALLENGERS:
         assert np.array_equal(heats[backend], heats["reference"])
@@ -216,3 +223,99 @@ def test_backend_end_to_end_parity_and_timing(smoke, record):
             results[backend].tree_indices, results["reference"].tree_indices
         )
     record("kernels_end_to_end", **metrics)
+
+
+# ----------------------------------------------------------------------
+# Estimator backend: the headline solve-bill cut.  Full-fat pipeline
+# (reference kernels + solve-backed estimator) vs the fast path (auto
+# kernels + perturbation estimator) on the headline 200x200 grid.
+# ----------------------------------------------------------------------
+
+#: End-to-end wall-clock floor for ``kernel_backend=auto`` +
+#: ``estimator_backend=auto`` over the all-reference pipeline.
+END_TO_END_SPEEDUP_FLOOR = 2.0
+
+#: Laplacian-solve count floor: the perturbation estimator must cut
+#: the total solve bill by at least this factor on the same run.
+SOLVE_CUT_FLOOR = 3.0
+
+
+def _caller_solves() -> dict:
+    """Per-caller totals from ``repro_solver_solves_total``."""
+    import json as _json
+
+    from repro.obs import get_metrics
+
+    values = get_metrics().snapshot().get(
+        "repro_solver_solves_total", {}
+    ).get("values", {})
+    per_caller: dict = {}
+    for key, count in values.items():
+        caller = _json.loads(key)[1]
+        per_caller[caller] = per_caller.get(caller, 0.0) + count
+    return per_caller
+
+
+def test_estimator_end_to_end_speedup_and_solve_cut(smoke, record):
+    from repro.obs import enable_metrics
+
+    enable_metrics()
+    side = 40 if smoke else 200
+    repeats = 1 if smoke else 2
+    # A tight similarity target: many densification rounds, which is
+    # where the bracket estimator's skipped solves compound.
+    sigma2 = 15.0
+    graph = generators.grid2d(side, side, weights="uniform", seed=1)
+    metrics = {"side": float(side), "sigma2": sigma2}
+    configs = {
+        "reference": dict(kernel_backend="reference",
+                          estimator_backend="reference"),
+        "auto": dict(kernel_backend="auto", estimator_backend="auto"),
+    }
+    solves = {}
+    for name, knobs in configs.items():
+        before = _caller_solves()
+        result, seconds = _best_of(
+            lambda knobs=knobs: sparsify_graph(
+                graph, sigma2=sigma2, seed=7, **knobs
+            ),
+            repeats,
+        )
+        after = _caller_solves()
+        assert result.converged
+        assert result.sigma2_estimate <= sigma2
+        # Identical deterministic runs: per-run count is the delta
+        # divided by the repeat count.
+        solves[name] = {
+            caller: (after.get(caller, 0.0) - before.get(caller, 0.0))
+            / repeats
+            for caller in after
+        }
+        metrics[f"estimator_pipeline_{name}_s"] = seconds
+        metrics[f"solves_{name}_total"] = sum(solves[name].values())
+        for caller in ("estimate", "embedding"):
+            metrics[f"solves_{name}_{caller}"] = solves[name].get(caller, 0.0)
+
+    speedup = (
+        metrics["estimator_pipeline_reference_s"]
+        / max(metrics["estimator_pipeline_auto_s"], 1e-12)
+    )
+    solve_cut = (
+        metrics["solves_reference_total"]
+        / max(metrics["solves_auto_total"], 1.0)
+    )
+    metrics["end_to_end_speedup"] = speedup
+    metrics["solve_cut"] = solve_cut
+    print(f"\ngrid {side}x{side} estimator pipeline:")
+    for key in sorted(metrics):
+        print(f"  {key:32s} {metrics[key]:.6f}")
+    record("kernels_end_to_end", **metrics)
+
+    if not smoke:
+        assert speedup >= END_TO_END_SPEEDUP_FLOOR, (
+            f"end-to-end speedup {speedup:.2f}x below the "
+            f"{END_TO_END_SPEEDUP_FLOOR}x floor"
+        )
+        assert solve_cut >= SOLVE_CUT_FLOOR, (
+            f"solve cut {solve_cut:.2f}x below the {SOLVE_CUT_FLOOR}x floor"
+        )

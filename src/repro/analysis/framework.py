@@ -52,7 +52,9 @@ CONTEXT_KNOBS = frozenset({
     "graph", "rng", "sigma2", "tree_method", "t", "num_vectors",
     "power_iterations", "max_iterations", "max_edges_per_iteration",
     "similarity_mode", "solver_method", "max_update_rank",
-    "amg_rebuild_every", "kernel_backend", "converged", "iterations",
+    "amg_rebuild_every", "kernel_backend", "estimator_backend",
+    "estimator_refresh", "probes", "reuse_embedding",
+    "embedding_reused", "estimator_cache", "converged", "iterations",
     "profile",
 })
 
@@ -87,8 +89,16 @@ KERNEL_DISPATCH_EFFECTS = {
         ("tree_indices",),
     ),
     "embedding": (
-        ("state", "rng", "graph", "t", "num_vectors"),
-        ("off_tree", "heats"),
+        ("state", "rng", "graph", "t", "num_vectors",
+         "reuse_embedding", "probes", "estimator_cache"),
+        ("off_tree", "heats", "probes", "embedding_reused",
+         "estimator_cache"),
+    ),
+    "estimator": (
+        ("state", "rng", "power_iterations", "sigma2", "probes",
+         "estimator_cache", "estimator_backend", "estimator_refresh"),
+        ("lambda_max", "lambda_min", "sigma2_estimate",
+         "reuse_embedding"),
     ),
     "filtering": (
         ("state", "off_tree", "heats", "lambda_max", "sigma2", "t"),

@@ -205,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="hot-kernel implementation family; all "
                                  "backends are bit-identical (default "
                                  "reference)")
+    p_sparsify.add_argument("--estimator-backend", default="reference",
+                            choices=["auto", "reference", "perturbation"],
+                            help="sigma^2 estimation strategy; perturbation "
+                                 "skips most per-round solves under a "
+                                 "quality contract instead of bit-parity "
+                                 "(default reference; auto = perturbation)")
     p_sparsify.add_argument("--profile", action="store_true",
                             help="print the pipeline's per-stage "
                                  "timing/counter table (sharded runs "
@@ -249,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["auto", "reference", "vectorized",
                                    "numba"],
                           help="hot-kernel implementation family (default "
+                               "reference; ignored with --resume, which "
+                               "restores the checkpointed choice)")
+    p_stream.add_argument("--estimator-backend", default="reference",
+                          choices=["auto", "reference", "perturbation"],
+                          help="sigma^2 estimation strategy (default "
                                "reference; ignored with --resume, which "
                                "restores the checkpointed choice)")
     p_stream.add_argument("-o", "--output", default=None,
@@ -433,6 +444,7 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
             graph, sigma2=args.sigma2, tree_method=args.tree, seed=args.seed,
             workers=args.workers, shard_max_nodes=args.shard_max_nodes,
             backend=args.backend, kernel_backend=args.kernel_backend,
+            estimator_backend=args.estimator_backend,
         )
     write_matrix_market(
         args.output,
@@ -454,6 +466,7 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
             "input": args.input, "sigma2": args.sigma2, "tree": args.tree,
             "workers": args.workers, "shard_max_nodes": args.shard_max_nodes,
             "backend": args.backend, "kernel_backend": args.kernel_backend,
+            "estimator_backend": args.estimator_backend,
         }
         RunLedger(args.ledger).append(
             RunRecord.from_result(result, config=config, seed=args.seed)
@@ -487,6 +500,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 drift_tolerance=args.drift_tolerance,
                 check_every=args.check_every,
                 kernel_backend=args.kernel_backend,
+                estimator_backend=args.estimator_backend,
             )
             print(f"initial sparsifier: {dyn.num_edges} edges over "
                   f"{graph.n} vertices (sigma2 estimate "
@@ -531,6 +545,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             "events": args.events, "batch_size": args.batch_size,
             "sigma2": float(dyn.sigma2), "resume": args.resume,
             "kernel_backend": args.kernel_backend,
+            "estimator_backend": args.estimator_backend,
         }
         metrics = {
             "num_events": len(events),

@@ -32,8 +32,7 @@ from dataclasses import dataclass
 
 from repro.core.context import PipelineContext
 from repro.core.stage import Stage
-from repro.obs import get_metrics, get_tracer
-from repro.spectral.extreme import generalized_power_iteration
+from repro.obs import get_tracer
 from repro.utils.timing import Timer
 
 # The sparsify kernels (rescaling) and the kernel registry are imported
@@ -103,33 +102,29 @@ class EstimateStage(Stage):
 
     name = "estimate"
     requires = ("state", "rng")
-    provides = ("lambda_max", "lambda_min", "sigma2_estimate")
+    provides = ("lambda_max", "lambda_min", "sigma2_estimate",
+                "reuse_embedding")
 
-    def run(self, ctx: PipelineContext) -> None:
+    def run(self, ctx: PipelineContext) -> dict:
         """Refresh ``lambda_max``/``lambda_min``/``sigma2_estimate``.
+
+        The context's ``estimator_backend`` selects the implementation:
+        ``reference`` runs the solve-backed generalized power
+        iteration; ``perturbation`` answers most rounds from
+        first-order Rayleigh bounds over cached probe vectors and only
+        spends solves to confirm an apparent certification.
 
         Parameters
         ----------
         ctx:
             Pipeline context with a mounted sparsifier state.
+
+        Returns
+        -------
+        dict
+            ``{"solves": <power-iteration solves spent>}``.
         """
-        state = ctx.state
-        solver = state.solver()
-        ctx.lambda_max = generalized_power_iteration(
-            state.host_laplacian,
-            state.laplacian,
-            solver,
-            iterations=ctx.power_iterations,
-            seed=ctx.rng,
-        )
-        ctx.lambda_min = state.lambda_min()
-        ctx.sigma2_estimate = ctx.lambda_max / ctx.lambda_min
-        get_metrics().gauge(
-            "repro_sigma2_estimate",
-            "Relative condition number lambda_max/lambda_min after the "
-            "latest estimate stage.",
-        ).set(ctx.sigma2_estimate)
-        return None
+        return ctx.kernel("estimator")
 
 
 class EmbeddingStage(Stage):
@@ -137,7 +132,8 @@ class EmbeddingStage(Stage):
 
     name = "embedding"
     requires = ("state", "rng")
-    provides = ("off_tree", "heats")
+    provides = ("off_tree", "heats", "probes", "embedding_reused",
+                "estimator_cache")
 
     def run(self, ctx: PipelineContext) -> dict:
         """Compute ``off_tree`` indices and their heats.
@@ -236,7 +232,8 @@ class DensifyStage(Stage):
 
     name = "densify"
     provides = ("state", "edge_mask", "iterations", "converged",
-                "sigma2_estimate", "lambda_min")
+                "sigma2_estimate", "lambda_min", "probes",
+                "reuse_embedding")
     child_names = (
         "densify.estimate",
         "densify.embedding",
@@ -329,6 +326,13 @@ class DensifyStage(Stage):
             )
             total_added += int(ctx.added.size)
             if ctx.added.size == 0:
+                if ctx.embedding_reused:
+                    # The dry round scored stale cached probes; force a
+                    # fresh solve-backed embedding before concluding the
+                    # filter has truly run dry.
+                    ctx.probes = None
+                    ctx.reuse_embedding = False
+                    continue
                 # Filter passed nothing although the similarity target
                 # is unmet — the estimates have converged as far as the
                 # embedding can certify.
@@ -354,6 +358,12 @@ class DensifyStage(Stage):
             self._step(ctx, self._similarity)
             total_added += int(ctx.added.size)
             if ctx.added.size == 0:
+                if ctx.embedding_reused:
+                    # Same retry as the batch cadence: never conclude
+                    # dryness from stale cached probes.
+                    ctx.probes = None
+                    ctx.reuse_embedding = False
+                    continue
                 break  # filter is dry; estimates are as certified as
                 # the embedding allows (same stop rule as the batch).
             self._step(ctx, self._estimate)

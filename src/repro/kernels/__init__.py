@@ -9,6 +9,12 @@ all pinned bit-identical by the differential parity harness in
 :meth:`repro.core.context.PipelineContext.kernel`; the backend is the
 ``kernel_backend`` knob threaded through every public entry point.
 
+The ``estimator`` kernel (σ² estimation) is the one exception to
+bit-parity: its ``perturbation`` backend is an algorithmic substitute
+for the solve-backed ``reference`` path, selected by the separate
+``estimator_backend`` knob and contracted by σ² *quality* tolerance
+instead (see :mod:`repro.kernels.estimator`).
+
 Importing this package imports the backend modules, which registers
 every implementation.
 """
@@ -17,8 +23,10 @@ from repro.kernels import registry  # noqa: F401
 from repro.kernels import reference  # noqa: F401
 from repro.kernels import vectorized  # noqa: F401
 from repro.kernels import numba_backend  # noqa: F401
+from repro.kernels import estimator  # noqa: F401
 from repro.kernels.registry import (
     BACKENDS,
+    ESTIMATOR_BACKENDS,
     HAS_NUMBA,
     KERNELS,
     Kernel,
@@ -26,11 +34,13 @@ from repro.kernels.registry import (
     kernel_impl,
     register_impl,
     resolve_backend,
+    resolve_estimator_backend,
     run_kernel,
 )
 
 __all__ = [
     "BACKENDS",
+    "ESTIMATOR_BACKENDS",
     "HAS_NUMBA",
     "KERNELS",
     "Kernel",
@@ -38,5 +48,6 @@ __all__ = [
     "kernel_impl",
     "register_impl",
     "resolve_backend",
+    "resolve_estimator_backend",
     "run_kernel",
 ]

@@ -5,7 +5,14 @@ sequential Python loops — the greedy endpoint-marking ``scoring``
 selection and the AKPW label-claim walk inside ``lsst`` — compile to
 tight machine loops under numba while keeping the *exact* sequential
 semantics, so parity with ``reference`` is structural rather than
-argued.  ``embedding`` and ``filtering`` are already whole-array numpy
+argued.  The ``lsst`` backend additionally JIT-compiles the two tree
+cores that are written in the nopython subset at their definition
+sites: the Borůvka union loop
+(:func:`repro.trees.lsst.boruvka_union_core`, passed through the
+``boruvka_core`` hook) and Tarjan's offline LCA
+(:func:`repro.trees.tarjan_lca.tarjan_lca_core`, which self-gates its
+own JIT wrap so stretch computation speeds up wherever it is called
+from).  ``embedding`` and ``filtering`` are already whole-array numpy
 and register no numba variant; the registry's per-kernel fallback
 chain resolves them to ``vectorized`` automatically.
 
@@ -21,10 +28,14 @@ import numpy as np
 
 from repro.kernels.registry import HAS_NUMBA, register_impl
 from repro.kernels.vectorized import scoring as _vectorized_scoring
-from repro.trees.lsst import low_stretch_tree
+from repro.trees.lsst import boruvka_union_core, low_stretch_tree
 
 if HAS_NUMBA:  # pragma: no cover - exercised by the CI backend matrix
     import numba
+
+    # The Borůvka union loop is authored in the nopython subset at its
+    # definition site, so the JIT wrap is a plain decoration here.
+    boruvka_core = numba.njit(cache=True)(boruvka_union_core)
 
     @numba.njit(cache=True)
     def _greedy_endpoint(u, v, candidates, n, cap):
@@ -94,15 +105,14 @@ if HAS_NUMBA:  # pragma: no cover - exercised by the CI backend matrix
 
     @register_impl("lsst", "numba")
     def lsst(graph, *, method, seed) -> np.ndarray:
-        """§3.1(a) backbone with the JIT label resolver.
+        """§3.1(a) backbone with the JIT label resolver and union core.
 
         Parameters
         ----------
         graph:
             Host graph.
         method:
-            Backbone construction; the resolver only affects
-            ``"akpw"``.
+            Backbone construction; the hooks only affect ``"akpw"``.
         seed:
             Randomness for the stochastic constructions.
 
@@ -112,7 +122,8 @@ if HAS_NUMBA:  # pragma: no cover - exercised by the CI backend matrix
             Sorted canonical tree edge indices.
         """
         return low_stretch_tree(graph, method=method, seed=seed,
-                                label_resolver=resolve_labels)
+                                label_resolver=resolve_labels,
+                                boruvka_core=boruvka_core)
 
     @register_impl("scoring", "numba")
     def scoring(graph, candidates, *, max_edges, mode) -> np.ndarray:

@@ -45,7 +45,7 @@ def lsst(graph, *, method, seed) -> np.ndarray:
 
 @register_impl("embedding", "reference")
 def embedding(graph, solver, off_tree, *, t, num_vectors, seed,
-              LG) -> np.ndarray:
+              LG) -> tuple:
     """§3.2: t-step Joule heats via the original embedding path.
 
     Parameters
@@ -62,13 +62,16 @@ def embedding(graph, solver, off_tree, *, t, num_vectors, seed,
 
     Returns
     -------
-    numpy.ndarray
-        Heat per off-tree edge, aligned with ``off_tree``.
+    tuple
+        ``(heats, H)`` — heat per off-tree edge aligned with
+        ``off_tree``, plus the propagated ``(n, r)`` probe block (the
+        wiring caches it for solve-free reuse rounds).
     """
-    from repro.sparsify.edge_embedding import joule_heats
+    from repro.sparsify.edge_embedding import power_iterate, probe_heats
 
-    return joule_heats(graph, solver, off_tree, t=t,
-                       num_vectors=num_vectors, seed=seed, LG=LG)
+    H = power_iterate(graph, solver, t=t, num_vectors=num_vectors,
+                      seed=seed, LG=LG)
+    return probe_heats(graph, H, off_tree), H
 
 
 @register_impl("filtering", "reference")

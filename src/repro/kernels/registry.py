@@ -16,6 +16,13 @@ gives each of them a *named backend*:
     (:mod:`repro.kernels.numba_backend`); silently resolves to
     ``vectorized`` when numba is not installed.
 
+A fifth kernel, ``estimator`` (§3.6 σ² estimation), carries its own
+backend family (:data:`ESTIMATOR_BACKENDS`, knob
+``estimator_backend``): ``reference`` is the solve-backed power
+iteration, ``perturbation`` the GRASS-style first-order bound that
+skips most solves.  It is contracted by a σ² *quality* tolerance
+rather than bit-parity — see :mod:`repro.kernels.estimator`.
+
 Each :class:`Kernel` couples a backend-independent *wiring* callable —
 which gathers inputs from a :class:`~repro.core.context.PipelineContext`,
 invokes the selected pure implementation and writes the outputs back —
@@ -41,6 +48,7 @@ from repro.obs import get_metrics, get_tracer
 
 __all__ = [
     "BACKENDS",
+    "ESTIMATOR_BACKENDS",
     "HAS_NUMBA",
     "KERNELS",
     "Kernel",
@@ -48,6 +56,7 @@ __all__ = [
     "kernel_impl",
     "register_impl",
     "resolve_backend",
+    "resolve_estimator_backend",
     "run_kernel",
 ]
 
@@ -62,9 +71,22 @@ except ImportError:  # pragma: no cover - the common container state
 #: accepted by :func:`resolve_backend` but is not itself a backend).
 BACKENDS = ("reference", "vectorized", "numba")
 
+#: Backends selectable for the ``estimator`` kernel only.  Unlike the
+#: bit-identical :data:`BACKENDS` families, ``"perturbation"`` is an
+#: *algorithmic substitute* (GRASS-style first-order eigenvalue
+#: perturbation bounds instead of per-round power-iteration solves)
+#: contracted by a σ² quality tolerance, so it hangs off its own knob
+#: (``estimator_backend``) and never rides along with
+#: ``kernel_backend="auto"``.
+ESTIMATOR_BACKENDS = ("reference", "perturbation")
+
 #: Per-kernel fallback chain: a backend missing an implementation
 #: delegates to the next cheaper one; ``reference`` is the floor.
-_FALLBACK = {"numba": "vectorized", "vectorized": "reference"}
+_FALLBACK = {
+    "numba": "vectorized",
+    "vectorized": "reference",
+    "perturbation": "reference",
+}
 
 #: ``(kernel name, backend name) -> pure implementation`` — populated
 #: by the backend modules at import time via :func:`register_impl`.
@@ -107,7 +129,8 @@ def register_impl(kernel: str, backend: str) -> Callable:
     kernel:
         Kernel name (must be a :data:`KERNELS` key).
     backend:
-        Backend name (must be in :data:`BACKENDS`).
+        Backend name (in :data:`BACKENDS`; the ``estimator`` kernel
+        accepts :data:`ESTIMATOR_BACKENDS` instead).
 
     Returns
     -------
@@ -123,9 +146,10 @@ def register_impl(kernel: str, backend: str) -> Callable:
     if kernel not in KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; expected one of "
                          f"{tuple(sorted(KERNELS))}")
-    if backend not in BACKENDS:
+    allowed = ESTIMATOR_BACKENDS if kernel == "estimator" else BACKENDS
+    if backend not in allowed:
         raise ValueError(f"unknown backend {backend!r}; expected one of "
-                         f"{BACKENDS}")
+                         f"{allowed}")
 
     def decorate(fn: Callable) -> Callable:
         if (kernel, backend) in _IMPLS:
@@ -169,6 +193,37 @@ def resolve_backend(name: str) -> str:
         )
     if name == "numba" and not HAS_NUMBA:
         return "vectorized"
+    return name
+
+
+def resolve_estimator_backend(name: str) -> str:
+    """Map a requested estimator backend to the one that will run.
+
+    Parameters
+    ----------
+    name:
+        ``"auto"``, or one of :data:`ESTIMATOR_BACKENDS`.  ``"auto"``
+        selects ``"perturbation"`` — the solve-avoiding GRASS-style
+        estimator, always runnable (it needs no optional dependency).
+
+    Returns
+    -------
+    str
+        A concrete estimator backend name.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is neither ``"auto"`` nor a known estimator
+        backend.
+    """
+    if name == "auto":
+        return "perturbation"
+    if name not in ESTIMATOR_BACKENDS:
+        raise ValueError(
+            f"unknown estimator backend {name!r}; expected 'auto' or one "
+            f"of {ESTIMATOR_BACKENDS}"
+        )
     return name
 
 
@@ -216,7 +271,10 @@ def _resolve_impl(name: str, backend: str) -> tuple:
     if name not in KERNELS:
         raise ValueError(f"unknown kernel {name!r}; expected one of "
                          f"{tuple(sorted(KERNELS))}")
-    candidate: str | None = resolve_backend(backend)
+    if name == "estimator":
+        candidate: str | None = resolve_estimator_backend(backend)
+    else:
+        candidate = resolve_backend(backend)
     while candidate is not None:
         fn = _IMPLS.get((name, candidate))
         if fn is not None:
@@ -232,7 +290,8 @@ def run_kernel(ctx, name: str):
     ----------
     ctx:
         A :class:`~repro.core.context.PipelineContext`; its
-        ``kernel_backend`` selects the implementation.
+        ``kernel_backend`` selects the implementation (the
+        ``estimator`` kernel follows ``estimator_backend`` instead).
     name:
         Kernel name.
 
@@ -250,7 +309,10 @@ def run_kernel(ctx, name: str):
         raise ValueError(f"unknown kernel {name!r}; expected one of "
                          f"{tuple(sorted(KERNELS))}")
     kernel = KERNELS[name]
-    backend, impl = _resolve_impl(name, ctx.kernel_backend)
+    request = (
+        ctx.estimator_backend if name == "estimator" else ctx.kernel_backend
+    )
+    backend, impl = _resolve_impl(name, request)
     metrics = get_metrics()
     with get_tracer().span(
         f"kernel.{name}", category="kernel", backend=backend
@@ -278,26 +340,79 @@ def _wire_lsst(ctx, impl) -> dict:
 
 
 def _wire_embedding(ctx, impl) -> dict:
-    """Score off-tree edges: ``ctx.off_tree`` and ``ctx.heats``."""
-    from repro.sparsify.edge_embedding import default_num_vectors
+    """Score off-tree edges: ``ctx.off_tree`` and ``ctx.heats``.
+
+    Fresh dispatches propagate the probe block through one batched
+    multi-RHS solve per power step and cache the block on
+    ``ctx.probes``.  When the estimator decided the cached block is
+    still sharp enough (``ctx.reuse_embedding``), the round re-scores
+    the shrunken off-tree set from that cache instead — zero solves
+    and, because ``state.solver()`` is never touched, zero
+    re-factorizations.
+    """
+    from repro.sparsify.edge_embedding import default_num_vectors, probe_heats
 
     state = ctx.state
     ctx.off_tree = np.flatnonzero(~state.edge_mask)
-    ctx.heats = impl(
-        ctx.graph,
-        state.solver(),
-        ctx.off_tree,
-        t=ctx.t,
-        num_vectors=ctx.num_vectors,
-        seed=ctx.rng,
-        LG=state.host_laplacian,
-    )
+    if ctx.reuse_embedding and ctx.probes is not None:
+        ctx.heats = probe_heats(ctx.graph, ctx.probes, ctx.off_tree)
+        ctx.embedding_reused = True
+        ctx.estimator_cache["rounds_since_embed"] = (
+            int(ctx.estimator_cache.get("rounds_since_embed", 0)) + 1
+        )
+    else:
+        ctx.heats, ctx.probes = impl(
+            ctx.graph,
+            state.solver(),
+            ctx.off_tree,
+            t=ctx.t,
+            num_vectors=ctx.num_vectors,
+            seed=ctx.rng,
+            LG=state.host_laplacian,
+        )
+        ctx.embedding_reused = False
+        ctx.estimator_cache["rounds_since_embed"] = 0
     probes = (
         ctx.num_vectors
         if ctx.num_vectors is not None
         else default_num_vectors(ctx.graph.n)
     )
-    return {"off_tree": int(ctx.off_tree.size), "probe_vectors": int(probes)}
+    return {
+        "off_tree": int(ctx.off_tree.size),
+        "probe_vectors": int(probes),
+        "reused": int(ctx.embedding_reused),
+    }
+
+
+def _wire_estimator(ctx, impl) -> dict:
+    """Refresh λmax/λmin/σ² and decide the next embedding's reuse."""
+    state = ctx.state
+    ctx.lambda_min = state.lambda_min()
+    lambda_max, solves = impl(
+        state,
+        rng=ctx.rng,
+        power_iterations=ctx.power_iterations,
+        lambda_min=ctx.lambda_min,
+        sigma2=ctx.sigma2,
+        probes=ctx.probes,
+        cache=ctx.estimator_cache,
+        refresh=ctx.estimator_refresh,
+    )
+    ctx.lambda_max = float(lambda_max)
+    ctx.sigma2_estimate = ctx.lambda_max / ctx.lambda_min
+    get_metrics().gauge(
+        "repro_sigma2_estimate",
+        "Relative condition number lambda_max/lambda_min after the "
+        "latest estimate stage.",
+    ).set(ctx.sigma2_estimate)
+    if ctx.estimator_backend == "perturbation":
+        rounds = int(ctx.estimator_cache.get("rounds_since_embed", 0))
+        ctx.reuse_embedding = (
+            ctx.probes is not None and rounds + 1 < ctx.estimator_refresh
+        )
+    else:
+        ctx.reuse_embedding = False
+    return {"solves": int(solves)}
 
 
 def _wire_filtering(ctx, impl) -> dict:
@@ -345,9 +460,23 @@ KERNELS = {
     "embedding": Kernel(
         name="embedding",
         paper="§3.2 t-step Joule heats (Eqs. 6, 12)",
-        reads=("state", "rng", "graph", "t", "num_vectors"),
-        writes=("off_tree", "heats"),
+        reads=("state", "rng", "graph", "t", "num_vectors",
+               "reuse_embedding", "probes", "estimator_cache"),
+        writes=("off_tree", "heats", "probes", "embedding_reused",
+                "estimator_cache"),
         wiring=_wire_embedding,
+    ),
+    "estimator": Kernel(
+        name="estimator",
+        paper="§3.6 extreme eigenvalue estimation (λmax power "
+              "iteration / GRASS-style perturbation bound, λmin "
+              "Eq. 18)",
+        reads=("state", "rng", "power_iterations", "sigma2", "probes",
+               "estimator_cache", "estimator_backend",
+               "estimator_refresh"),
+        writes=("lambda_max", "lambda_min", "sigma2_estimate",
+                "reuse_embedding"),
+        wiring=_wire_estimator,
     ),
     "filtering": Kernel(
         name="filtering",

@@ -106,7 +106,7 @@ def lsst(graph, *, method, seed) -> np.ndarray:
 
 @register_impl("embedding", "vectorized")
 def embedding(graph, solver, off_tree, *, t, num_vectors, seed,
-              LG) -> np.ndarray:
+              LG) -> tuple:
     """§3.2 Joule heats with a ``np.take``-based edge gather.
 
     Parameters
@@ -123,8 +123,10 @@ def embedding(graph, solver, off_tree, *, t, num_vectors, seed,
 
     Returns
     -------
-    numpy.ndarray
-        Heat per off-tree edge, aligned with ``off_tree``.
+    tuple
+        ``(heats, H)`` — heat per off-tree edge aligned with
+        ``off_tree`` (bit-identical to ``reference``), plus the
+        propagated ``(n, r)`` probe block for reuse caching.
     """
     from repro.sparsify.edge_embedding import power_iterate
 
@@ -135,7 +137,7 @@ def embedding(graph, solver, off_tree, *, t, num_vectors, seed,
     w = np.take(graph.w, off_tree)
     diffs = np.take(H, u, axis=0)
     diffs -= np.take(H, v, axis=0)
-    return w * np.einsum("ij,ij->i", diffs, diffs)
+    return w * np.einsum("ij,ij->i", diffs, diffs), H
 
 
 @register_impl("filtering", "vectorized")

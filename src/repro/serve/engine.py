@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import get_metrics
+from repro.solvers.block import block_solve, pair_indicator_columns
 from repro.sparsify.effective_resistance import (
     exact_effective_resistances,
     validate_pairs,
@@ -262,7 +263,7 @@ class QueryEngine:
         with self.lock:
             self._refresh_locked()
             self.stats.queries += 1 if rhs.ndim == 1 else rhs.shape[1]
-            return self._dyn.solver().solve(rhs)
+            return block_solve(self._dyn.solver(), rhs, caller="serve")
 
     def similarity(self, pairs: np.ndarray) -> np.ndarray:
         """Spectral similarity score ``w(e) · R_eff(e)`` of host edges.
@@ -427,16 +428,16 @@ class QueryEngine:
         batch, self._pending = self._pending, []
         n = self._dyn.graph.n
         rhs = np.zeros((n, len(batch)))
+        res_cols = [c for c, item in enumerate(batch) if item.kind == "resistance"]
+        if res_cols:
+            # Degenerate u == v resistance columns are all-zero and solve
+            # to zero for free inside the shared multi-RHS call.
+            pairs = np.stack([batch[c].payload for c in res_cols])
+            rhs[:, res_cols] = pair_indicator_columns(n, pairs)
         for col, item in enumerate(batch):
-            if item.kind == "resistance":
-                a, b = item.payload
-                rhs[a, col] = 1.0
-                rhs[b, col] -= 1.0
-            else:
+            if item.kind != "resistance":
                 rhs[:, col] = item.payload
-        # Degenerate u == v resistance columns are all-zero and solve to
-        # zero for free inside the shared multi-RHS call.
-        x = self._dyn.solver().solve(rhs)
+        x = block_solve(self._dyn.solver(), rhs, caller="serve")
         for col, item in enumerate(batch):
             if item.kind == "resistance":
                 a, b = item.payload

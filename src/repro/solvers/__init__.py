@@ -7,6 +7,7 @@ the direct solver, in-place fine-level patches for AMG).
 """
 
 from repro.solvers.base import Solver, csr_value_positions
+from repro.solvers.block import block_solve, pair_indicator_columns, record_solve
 from repro.solvers.cg import SolveResult, conjugate_gradient, pcg
 from repro.solvers.cholesky import DirectSolver
 from repro.solvers.amg import AMGSolver, heavy_edge_aggregates
@@ -22,6 +23,9 @@ from repro.solvers.preconditioners import (
 __all__ = [
     "Solver",
     "csr_value_positions",
+    "block_solve",
+    "pair_indicator_columns",
+    "record_solve",
     "SolveResult",
     "pcg",
     "conjugate_gradient",

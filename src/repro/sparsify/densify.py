@@ -95,6 +95,8 @@ def densify(
     max_update_rank: int = 64,
     amg_rebuild_every: int = 8,
     kernel_backend: str = "reference",
+    estimator_backend: str = "reference",
+    estimator_refresh: int = 3,
 ) -> DensifyResult:
     """Run the Section-3.7 densification loop until σ² is reached.
 
@@ -143,6 +145,14 @@ def densify(
         ``"vectorized"``, ``"numba"``, ``"auto"``); every backend is
         bit-identical, so this changes speed only (see
         :mod:`repro.kernels.registry`).
+    estimator_backend:
+        σ² estimation strategy (``"reference"``, ``"perturbation"``,
+        ``"auto"``); the perturbation backend trades bit-parity for a
+        quality-bounded solve-skipping estimate (see
+        :mod:`repro.kernels.estimator`).
+    estimator_refresh:
+        Maximum consecutive rounds the perturbation estimator may reuse
+        one probe embedding before a fresh embedding is forced.
 
     Returns
     -------
@@ -168,6 +178,8 @@ def densify(
         max_update_rank=max_update_rank,
         amg_rebuild_every=amg_rebuild_every,
         kernel_backend=kernel_backend,
+        estimator_backend=estimator_backend,
+        estimator_refresh=estimator_refresh,
         initial_mask=initial_mask,
         tree_indices=np.asarray(tree_indices, dtype=np.int64),
     )

@@ -22,9 +22,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.graph import Graph
+from repro.solvers.block import record_solve
 from repro.utils.rng import as_rng, random_unit_vectors
 
-__all__ = ["default_num_vectors", "power_iterate", "joule_heats"]
+__all__ = [
+    "default_num_vectors",
+    "power_iterate",
+    "joule_heats",
+    "probe_heats",
+]
 
 
 def default_num_vectors(n: int) -> int:
@@ -95,9 +101,44 @@ def power_iterate(
     if LG is None:
         LG = graph.laplacian()
     for _ in range(t):
+        record_solve(solve_P, "embedding")
         H = solve_P(LG @ H)
         H = H - H.mean(axis=0, keepdims=True)
     return H
+
+
+def probe_heats(
+    graph: Graph, H: np.ndarray, off_tree_indices: np.ndarray
+) -> np.ndarray:
+    """Joule heats of off-tree edges from an existing probe block.
+
+    The solve-free half of :func:`joule_heats`: given already-propagated
+    probe vectors ``H``, charge each off-tree edge its Eq. 6/12 heat.
+    The densification engine uses this to re-score the (shrinking)
+    off-tree set on rounds that *reuse* a cached probe block, spending
+    zero Laplacian solves.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``.
+    H:
+        ``(n, r)`` propagated probe block from :func:`power_iterate`.
+    off_tree_indices:
+        Canonical indices of the off-tree edges to score.
+
+    Returns
+    -------
+    numpy.ndarray
+        Non-negative heat per off-tree edge, aligned with
+        ``off_tree_indices``.
+    """
+    off_tree_indices = np.asarray(off_tree_indices, dtype=np.int64)
+    u = graph.u[off_tree_indices]
+    v = graph.v[off_tree_indices]
+    w = graph.w[off_tree_indices]
+    diffs = H[u] - H[v]
+    return w * np.einsum("ij,ij->i", diffs, diffs)
 
 
 def joule_heats(
@@ -127,11 +168,6 @@ def joule_heats(
     Non-negative heat per off-tree edge, aligned with
     ``off_tree_indices``.
     """
-    off_tree_indices = np.asarray(off_tree_indices, dtype=np.int64)
     H = power_iterate(graph, solve_P, t=t, num_vectors=num_vectors, seed=seed,
                       LG=LG)
-    u = graph.u[off_tree_indices]
-    v = graph.v[off_tree_indices]
-    w = graph.w[off_tree_indices]
-    diffs = H[u] - H[v]
-    return w * np.einsum("ij,ij->i", diffs, diffs)
+    return probe_heats(graph, H, off_tree_indices)

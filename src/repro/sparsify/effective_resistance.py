@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.solvers.block import block_solve, pair_indicator_columns
 from repro.solvers.cholesky import DirectSolver
 from repro.utils.rng import as_rng
 
@@ -106,11 +107,9 @@ def exact_effective_resistances(
     for start in range(0, distinct.size, batch_size):
         sel = distinct[start : start + batch_size]
         chunk = pairs[sel]
-        rhs = np.zeros((graph.n, chunk.shape[0]))
+        rhs = pair_indicator_columns(graph.n, chunk)
+        x = block_solve(solver, rhs, caller="resistance")
         cols = np.arange(chunk.shape[0])
-        rhs[chunk[:, 0], cols] = 1.0
-        rhs[chunk[:, 1], cols] -= 1.0
-        x = solver.solve(rhs)
         out[sel] = x[chunk[:, 0], cols] - x[chunk[:, 1], cols]
     return out
 
@@ -174,7 +173,7 @@ def approx_effective_resistances(
     rhs = np.zeros((n, k))
     np.add.at(rhs, graph.u, scaled)
     np.subtract.at(rhs, graph.v, scaled)
-    Z = solver.solve(rhs)
+    Z = block_solve(solver, rhs, caller="resistance")
     if pairs is None:
         diffs = Z[graph.u] - Z[graph.v]
     else:

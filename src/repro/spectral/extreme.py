@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.graph import Graph
+from repro.solvers.block import record_solve
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -33,13 +34,15 @@ def generalized_power_iteration(
     iterations: int = 10,
     seed: int | np.random.Generator | None = None,
     return_vector: bool = False,
+    caller: str = "estimate",
 ) -> float | tuple[float, np.ndarray]:
     """Estimate ``λmax(L_P⁺ L_G)`` by power iterations on the pencil.
 
     Each step applies ``h ← L_P⁺ (L_G h)`` (via ``solve_P``), projects
     out the all-ones null space and renormalizes; the generalized
     Rayleigh quotient ``(hᵀ L_G h) / (hᵀ L_P h)`` of the final iterate
-    is returned.  The estimate approaches λmax from below.
+    is returned.  The estimate approaches λmax from below.  Each solve
+    is counted under ``repro_solver_solves_total{caller=...}``.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
@@ -49,6 +52,7 @@ def generalized_power_iteration(
     h -= h.mean()
     h /= np.linalg.norm(h)
     for _ in range(iterations):
+        record_solve(solve_P, caller)
         h = solve_P(LG @ h)
         h -= h.mean()
         norm = np.linalg.norm(h)

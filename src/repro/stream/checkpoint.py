@@ -116,6 +116,8 @@ def save_dynamic(path: str | Path, dyn: DynamicSparsifier) -> tuple[Path, Path]:
             "amg_rebuild_every": dyn.amg_rebuild_every,
             "power_iterations": dyn.power_iterations,
             "kernel_backend": dyn.kernel_backend,
+            "estimator_backend": dyn.estimator_backend,
+            "estimator_refresh": dyn.estimator_refresh,
             "densify_options": dyn._densify_options,
         },
         "counters": {
@@ -180,6 +182,11 @@ def load_dynamic(path: str | Path) -> DynamicSparsifier:
         amg_rebuild_every=config["amg_rebuild_every"],
         power_iterations=config["power_iterations"],
         kernel_backend=config.get("kernel_backend", "reference"),
+        # Checkpoints written before the estimator kernel existed carry
+        # no estimator slot; they ran the solve-backed path, so default
+        # to it for an exact-behaviour restore.
+        estimator_backend=config.get("estimator_backend", "reference"),
+        estimator_refresh=config.get("estimator_refresh", 3),
         densify_options=config["densify_options"],
         _defer_init=True,
     )

@@ -247,6 +247,17 @@ class DynamicSparsifier:
         replay and checkpoint parity are backend-independent.  The
         *requested* name is checkpointed and re-resolved on restore,
         so a checkpoint written on a numba machine loads anywhere.
+    estimator_backend:
+        σ² estimation strategy for builds and drift repairs
+        (``"reference"``, ``"perturbation"``, ``"auto"``).  Unlike
+        ``kernel_backend`` the perturbation backend is a
+        quality-contracted algorithmic substitute, not bit-identical
+        (see :mod:`repro.kernels.estimator`); the requested name is
+        checkpointed and legacy checkpoints default to
+        ``"reference"``.
+    estimator_refresh:
+        Maximum consecutive rounds the perturbation estimator reuses
+        one probe embedding before forcing a fresh one.
     seed:
         Randomness for the initial sparsification and all repairs.
     densify_options:
@@ -281,6 +292,8 @@ class DynamicSparsifier:
         amg_rebuild_every: int = 8,
         power_iterations: int = 10,
         kernel_backend: str = "reference",
+        estimator_backend: str = "reference",
+        estimator_refresh: int = 3,
         seed: int | np.random.Generator | None = None,
         densify_options: dict | None = None,
         _defer_init: bool = False,
@@ -295,9 +308,13 @@ class DynamicSparsifier:
             raise ValueError(f"check_every must be >= 1, got {check_every}")
         if solver_method not in _SOLVER_METHODS:
             raise ValueError(f"unknown solver method {solver_method!r}")
-        from repro.kernels.registry import resolve_backend
+        from repro.kernels.registry import (
+            resolve_backend,
+            resolve_estimator_backend,
+        )
 
         resolve_backend(kernel_backend)  # validate; keep the request
+        resolve_estimator_backend(estimator_backend)
         self.sigma2 = float(sigma2)
         self.tree_method = tree_method
         self.drift_tolerance = float(drift_tolerance)
@@ -309,6 +326,8 @@ class DynamicSparsifier:
         self.amg_rebuild_every = int(amg_rebuild_every)
         self.power_iterations = int(power_iterations)
         self.kernel_backend = kernel_backend
+        self.estimator_backend = estimator_backend
+        self.estimator_refresh = int(estimator_refresh)
         self._densify_options = dict(densify_options or {})
         unknown = set(self._densify_options) - set(_DENSIFY_OPTION_KEYS)
         if unknown:
@@ -411,6 +430,8 @@ class DynamicSparsifier:
             amg_rebuild_every=self.amg_rebuild_every,
             power_iterations=self.power_iterations,
             kernel_backend=self.kernel_backend,
+            estimator_backend=self.estimator_backend,
+            estimator_refresh=self.estimator_refresh,
             tree_indices=(
                 self.tree_indices if state is not None else None
             ),

@@ -21,10 +21,16 @@ import scipy.sparse.csgraph as csgraph
 
 from repro.graphs.graph import Graph
 from repro.graphs.components import is_connected
-from repro.trees.spanning import DisjointSet, minimum_spanning_tree
+from repro.trees.spanning import minimum_spanning_tree
 from repro.utils.rng import as_rng
 
-__all__ = ["akpw", "claim_labels", "shortest_path_tree", "low_stretch_tree"]
+__all__ = [
+    "akpw",
+    "boruvka_union_core",
+    "claim_labels",
+    "shortest_path_tree",
+    "low_stretch_tree",
+]
 
 
 def claim_labels(
@@ -135,13 +141,81 @@ def _shifted_shortest_path_round(
     return labels, aorig[sort[pos]]
 
 
+def boruvka_union_core(
+    k: int, cu: np.ndarray, cv: np.ndarray, chosen: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Union the chosen Borůvka edges; numba ``nopython``-compatible.
+
+    Replicates :class:`repro.trees.spanning.DisjointSet` (union by
+    rank, path halving) operation-for-operation: representative ids
+    flow into ``np.unique`` label compression and thereby into the
+    tree's edge identity, so any substitute core must produce the same
+    roots, not merely the same partition.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    cu, cv:
+        ``int64`` cluster endpoints of every edge in the round.
+    chosen:
+        ``int64`` positions of the selected best edges, in union order.
+
+    Returns
+    -------
+    tuple
+        ``(labels, added)`` — per-cluster representative labels, and a
+        boolean mask over ``chosen`` marking edges that merged two
+        clusters (the forest edges of the round).
+    """
+    parent = np.arange(k, dtype=np.int64)
+    rank = np.zeros(k, dtype=np.int64)
+    added = np.zeros(chosen.size, dtype=np.bool_)
+    for i in range(chosen.size):
+        e = chosen[i]
+        x = cu[e]
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        ra = x
+        x = cv[e]
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        rb = x
+        if ra == rb:
+            continue
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        parent[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        added[i] = True
+    labels = np.empty(k, dtype=np.int64)
+    for v in range(k):
+        x = v
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        labels[v] = x
+    return labels, added
+
+
 def _boruvka_round(
-    k: int, cu: np.ndarray, cv: np.ndarray, lengths: np.ndarray, orig: np.ndarray
+    k: int,
+    cu: np.ndarray,
+    cv: np.ndarray,
+    lengths: np.ndarray,
+    orig: np.ndarray,
+    boruvka_core=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Borůvka fallback: every cluster grabs its shortest incident edge.
 
     Guarantees the cluster count at least halves, which makes the AKPW
-    loop terminate even when a randomized round stalls.
+    loop terminate even when a randomized round stalls.  The sequential
+    union loop lives in :func:`boruvka_union_core`; ``boruvka_core``
+    is the kernel-backend hook substituting a JIT-compiled equivalent
+    (value-identical — the parity suite checks).
     """
     best = np.full(k, -1, dtype=np.int64)
     best_len = np.full(k, np.inf)
@@ -155,13 +229,13 @@ def _boruvka_round(
         best[uniq[better]] = order[first_pos[better]]
         best_len[uniq[better]] = cand_len[better]
     chosen = np.unique(best[best >= 0])
-    dsu = DisjointSet(k)
-    added = []
-    for e in chosen:
-        if dsu.union(int(cu[e]), int(cv[e])):
-            added.append(orig[e])
-    labels = np.array([dsu.find(v) for v in range(k)], dtype=np.int64)
-    return labels, np.array(added, dtype=np.int64)
+    labels, added = (boruvka_core or boruvka_union_core)(
+        k,
+        np.ascontiguousarray(cu, dtype=np.int64),
+        np.ascontiguousarray(cv, dtype=np.int64),
+        chosen,
+    )
+    return labels, orig[chosen[added]]
 
 
 def akpw(
@@ -169,6 +243,7 @@ def akpw(
     seed: int | np.random.Generator | None = None,
     scale_factor: float = 4.0,
     label_resolver=None,
+    boruvka_core=None,
 ) -> np.ndarray:
     """AKPW-style low-stretch spanning tree; returns canonical edge indices.
 
@@ -186,6 +261,10 @@ def akpw(
         Optional ``(dist, pred, virtual) -> labels`` replacement for
         :func:`claim_labels` — the kernel-backend hook; any substitute
         must be value-identical (the parity suite checks).
+    boruvka_core:
+        Optional ``(k, cu, cv, chosen) -> (labels, added)`` replacement
+        for :func:`boruvka_union_core` — same contract: bit-identical
+        representative labels and forest-edge mask.
     """
     if not is_connected(graph):
         raise ValueError("graph must be connected to have a spanning tree")
@@ -217,7 +296,9 @@ def akpw(
             label_resolver=label_resolver,
         )
         if added.size == 0:
-            labels, added = _boruvka_round(k, cu, cv, lengths, orig)
+            labels, added = _boruvka_round(
+                k, cu, cv, lengths, orig, boruvka_core=boruvka_core
+            )
         tree_edges.append(added)
         # Compress labels and contract.
         uniq, new_labels = np.unique(labels, return_inverse=True)
@@ -276,18 +357,25 @@ def low_stretch_tree(
     seed: int | np.random.Generator | None = None,
     root: int | None = None,
     label_resolver=None,
+    boruvka_core=None,
 ) -> np.ndarray:
     """Spanning-tree backbone dispatcher.
 
     ``method`` is one of ``"akpw"`` (default, low-stretch),
     ``"spt"`` (Dijkstra shortest-path tree), ``"maxw"`` (maximum-weight
     tree) or ``"random"`` (uniformly weighted Kruskal order — the
-    worst-case baseline for ablations).  ``label_resolver`` is the
-    kernel-backend hook forwarded to :func:`akpw` (ignored by the
-    other methods, which have no sequential label loop).
+    worst-case baseline for ablations).  ``label_resolver`` and
+    ``boruvka_core`` are the kernel-backend hooks forwarded to
+    :func:`akpw` (ignored by the other methods, which have no
+    sequential loops).
     """
     if method == "akpw":
-        return akpw(graph, seed=seed, label_resolver=label_resolver)
+        return akpw(
+            graph,
+            seed=seed,
+            label_resolver=label_resolver,
+            boruvka_core=boruvka_core,
+        )
     if method == "spt":
         return shortest_path_tree(graph, root=root, seed=seed)
     if method == "maxw":

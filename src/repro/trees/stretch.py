@@ -54,26 +54,52 @@ class StretchReport:
 
 
 def edge_stretches(
-    graph: Graph, tree_edge_indices: np.ndarray, root: int = 0
+    graph: Graph,
+    tree_edge_indices: np.ndarray,
+    root: int = 0,
+    method: str = "lifting",
 ) -> StretchReport:
     """Compute stretch of every edge w.r.t. the given spanning tree.
 
-    Uses root-resistance prefix sums + batched binary-lifting LCA, so the
-    cost is ``O((n + m) log n)``.
+    Both methods share the root-resistance prefix sums and differ only
+    in the LCA engine — results are bit-identical:
+
+    - ``"lifting"`` (default): batched binary-lifting table,
+      ``O((n + m) log n)`` and fully vectorized;
+    - ``"tarjan"``: Tarjan's offline union-find traversal,
+      ``O((n + m) α(n))`` with no ancestor table — the lean choice for
+      very deep trees, JIT-compiled when numba is available.
     """
     tree = RootedTree.from_graph(graph, tree_edge_indices, root=root)
-    lca = BinaryLiftingLCA(tree)
     resistance = tree.resistance_to_root()
     tree_mask = np.zeros(graph.num_edges, dtype=bool)
     tree_mask[np.asarray(tree_edge_indices, dtype=np.int64)] = True
     stretches = np.ones(graph.num_edges, dtype=np.float64)
     off = np.flatnonzero(~tree_mask)
     if off.size:
-        path_r = lca.path_resistance(graph.u[off], graph.v[off], resistance)
+        u, v = graph.u[off], graph.v[off]
+        if method == "lifting":
+            path_r = BinaryLiftingLCA(tree).path_resistance(u, v, resistance)
+        elif method == "tarjan":
+            from repro.trees.tarjan_lca import tarjan_offline_lca
+
+            anc = tarjan_offline_lca(tree, u, v)
+            path_r = resistance[u] + resistance[v] - 2.0 * resistance[anc]
+        else:
+            raise ValueError(f"unknown stretch method {method!r}")
         stretches[off] = graph.w[off] * path_r
+    elif method not in ("lifting", "tarjan"):
+        raise ValueError(f"unknown stretch method {method!r}")
     return StretchReport(stretches=stretches, tree_mask=tree_mask)
 
 
-def total_stretch(graph: Graph, tree_edge_indices: np.ndarray, root: int = 0) -> float:
+def total_stretch(
+    graph: Graph,
+    tree_edge_indices: np.ndarray,
+    root: int = 0,
+    method: str = "lifting",
+) -> float:
     """Total stretch ``st_P(G)`` of the tree (Eq. 4)."""
-    return edge_stretches(graph, tree_edge_indices, root=root).total
+    return edge_stretches(
+        graph, tree_edge_indices, root=root, method=method
+    ).total

@@ -5,17 +5,145 @@ computation: when *all* queries are known in advance, Tarjan's
 union-find traversal answers ``q`` queries over an ``n``-vertex tree in
 ``O((n + q) α(n))`` — no ``O(n log n)`` ancestor table.  Used as an
 independent oracle for :class:`~repro.trees.BinaryLiftingLCA` in the
-test suite and as the memory-lean option for very deep trees.
+test suite, as the memory-lean option for very deep trees, and as the
+``method="tarjan"`` engine of :func:`repro.trees.edge_stretches`.
+
+The traversal lives in :func:`tarjan_lca_core`, a flat-array loop nest
+written in the numba ``nopython`` subset: when numba is importable the
+core is JIT-compiled at import time, otherwise the same function runs
+as plain Python — identical results either way, so the kernel parity
+suite covers both legs with one test body.  The union-find inside
+replicates :class:`repro.trees.spanning.DisjointSet` (union by rank,
+path halving) operation-for-operation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.trees.spanning import DisjointSet
 from repro.trees.tree import RootedTree
 
-__all__ = ["tarjan_offline_lca"]
+__all__ = ["tarjan_lca_core", "tarjan_offline_lca"]
+
+
+def tarjan_lca_core(parent: np.ndarray, root: int, qu: np.ndarray,
+                    qv: np.ndarray) -> np.ndarray:
+    """Flat-array Tarjan offline LCA (numba ``nopython``-compatible).
+
+    Parameters
+    ----------
+    parent:
+        ``int64`` parent array of a rooted tree (``-1`` at the root).
+    root:
+        Root vertex.
+    qu, qv:
+        ``int64`` query endpoint arrays of equal length.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` LCA per query, aligned with the query order.
+    """
+    n = parent.size
+    q = qu.size
+    # Children in CSR layout (vertex order, matching a child-list walk).
+    child_count = np.zeros(n + 1, dtype=np.int64)
+    for vertex in range(n):
+        p = parent[vertex]
+        if p >= 0:
+            child_count[p + 1] += 1
+    child_start = np.zeros(n + 1, dtype=np.int64)
+    for vertex in range(n):
+        child_start[vertex + 1] = child_start[vertex] + child_count[vertex + 1]
+    child_pos = child_start[:-1].copy()
+    child_list = np.empty(max(n - 1, 0), dtype=np.int64)
+    for vertex in range(n):
+        p = parent[vertex]
+        if p >= 0:
+            child_list[child_pos[p]] = vertex
+            child_pos[p] += 1
+    # Queries bucketed per endpoint (each query in both buckets).
+    query_count = np.zeros(n + 1, dtype=np.int64)
+    for k in range(q):
+        query_count[qu[k] + 1] += 1
+        query_count[qv[k] + 1] += 1
+    query_start = np.zeros(n + 1, dtype=np.int64)
+    for vertex in range(n):
+        query_start[vertex + 1] = (
+            query_start[vertex] + query_count[vertex + 1]
+        )
+    query_pos = query_start[:-1].copy()
+    query_other = np.empty(2 * q, dtype=np.int64)
+    query_id = np.empty(2 * q, dtype=np.int64)
+    for k in range(q):
+        a = qu[k]
+        b = qv[k]
+        query_other[query_pos[a]] = b
+        query_id[query_pos[a]] = k
+        query_pos[a] += 1
+        query_other[query_pos[b]] = a
+        query_id[query_pos[b]] = k
+        query_pos[b] += 1
+    # Union-find state (DisjointSet semantics: rank union, halving).
+    dsu_parent = np.arange(n, dtype=np.int64)
+    dsu_rank = np.zeros(n, dtype=np.int64)
+    ancestor = np.arange(n, dtype=np.int64)
+    visited = np.zeros(n, dtype=np.bool_)
+    answers = np.empty(q, dtype=np.int64)
+    # Iterative post-order DFS: explicit vertex + child-cursor stacks.
+    stack = np.empty(n, dtype=np.int64)
+    cursor = np.empty(n, dtype=np.int64)
+    top = 0
+    stack[0] = root
+    cursor[0] = 0
+    while top >= 0:
+        vertex = stack[top]
+        c = cursor[top]
+        if child_start[vertex] + c < child_start[vertex + 1]:
+            cursor[top] = c + 1
+            top += 1
+            stack[top] = child_list[child_start[vertex] + c]
+            cursor[top] = 0
+            continue
+        # Post-visit: all children of `vertex` are merged below it.
+        visited[vertex] = True
+        for j in range(query_start[vertex], query_start[vertex + 1]):
+            other = query_other[j]
+            if visited[other]:
+                x = other
+                while dsu_parent[x] != x:
+                    dsu_parent[x] = dsu_parent[dsu_parent[x]]
+                    x = dsu_parent[x]
+                answers[query_id[j]] = ancestor[x]
+        p = parent[vertex]
+        if p >= 0:
+            x = p
+            while dsu_parent[x] != x:
+                dsu_parent[x] = dsu_parent[dsu_parent[x]]
+                x = dsu_parent[x]
+            ra = x
+            x = vertex
+            while dsu_parent[x] != x:
+                dsu_parent[x] = dsu_parent[dsu_parent[x]]
+                x = dsu_parent[x]
+            rb = x
+            if ra != rb:
+                if dsu_rank[ra] < dsu_rank[rb]:
+                    ra, rb = rb, ra
+                dsu_parent[rb] = ra
+                if dsu_rank[ra] == dsu_rank[rb]:
+                    dsu_rank[ra] += 1
+            ancestor[ra] = p
+        top -= 1
+    return answers
+
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    tarjan_lca_core = numba.njit(cache=True)(tarjan_lca_core)
+except ImportError:  # pragma: no cover - the common container state
+    pass
 
 
 def tarjan_offline_lca(
@@ -36,51 +164,17 @@ def tarjan_offline_lca(
 
     Notes
     -----
-    Implemented iteratively (explicit DFS stack) so deep trees do not
-    hit Python's recursion limit.  Queries are bucketed per endpoint;
-    when the DFS finishes a vertex, all its pending queries whose other
-    endpoint is already visited resolve to ``find(other)``.
+    Thin validation wrapper over :func:`tarjan_lca_core` — an iterative
+    (explicit DFS stack) flat-array traversal, so deep trees do not hit
+    Python's recursion limit and the loop nest JIT-compiles when numba
+    is available.  Queries are bucketed per endpoint; when the DFS
+    finishes a vertex, all its pending queries whose other endpoint is
+    already visited resolve to ``ancestor(find(other))``.
     """
     u = np.atleast_1d(np.asarray(u, dtype=np.int64))
     v = np.atleast_1d(np.asarray(v, dtype=np.int64))
     if u.shape != v.shape:
         raise ValueError(f"query shapes differ: {u.shape} vs {v.shape}")
-    n = tree.n
-    q = u.size
-    answers = np.empty(q, dtype=np.int64)
-
-    # Bucket queries by endpoint (each query appears in two buckets).
-    query_heads: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-    for k in range(q):
-        query_heads[int(u[k])].append((int(v[k]), k))
-        query_heads[int(v[k])].append((int(u[k]), k))
-
-    # Children lists from the parent array.
-    children: list[list[int]] = [[] for _ in range(n)]
-    for vertex in range(n):
-        parent = int(tree.parent[vertex])
-        if parent >= 0:
-            children[parent].append(vertex)
-
-    dsu = DisjointSet(n)
-    ancestor = np.arange(n, dtype=np.int64)
-    visited = np.zeros(n, dtype=bool)
-
-    # Iterative post-order DFS: (vertex, child_cursor) stack frames.
-    stack: list[tuple[int, int]] = [(tree.root, 0)]
-    while stack:
-        vertex, cursor = stack.pop()
-        if cursor < len(children[vertex]):
-            stack.append((vertex, cursor + 1))
-            stack.append((children[vertex][cursor], 0))
-            continue
-        # Post-visit: all children of `vertex` are merged below it.
-        visited[vertex] = True
-        for other, k in query_heads[vertex]:
-            if visited[other]:
-                answers[k] = ancestor[dsu.find(other)]
-        parent = int(tree.parent[vertex])
-        if parent >= 0:
-            dsu.union(parent, vertex)
-            ancestor[dsu.find(parent)] = parent
-    return answers
+    return tarjan_lca_core(
+        np.asarray(tree.parent, dtype=np.int64), int(tree.root), u, v
+    )

@@ -1,0 +1,293 @@
+"""Quality contract of the perturbation estimator backend.
+
+Unlike the compute-kernel backends (bit-parity contract, see
+``test_parity.py``), the ``estimator`` kernel family trades exactness
+for solves: the ``perturbation`` backend reuses the last confirmed
+``lambda_max`` as a monotone upper bound on skip rounds (densification
+only adds edges, so the true generalized eigenvalue can only fall).
+Its contract is therefore *quality-banded*, pinned here across the
+parity corpus plus degenerate shapes:
+
+1. convergence — the perturbation run certifies whenever the
+   reference run certifies;
+2. target honoured — a certified run's ``sigma2_estimate`` is at most
+   the requested ``sigma2``;
+3. one-sided band — the certified estimate never exceeds
+   ``SIGMA2_QUALITY_FACTOR`` times the reference backend's (skip
+   rounds substitute an upper bound for λmax, so the backend can only
+   certify *deeper* below the target, never looser);
+4. density — the extra depth costs at most
+   ``DENSITY_OVERHEAD_FACTOR`` times the reference edge count.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, generators
+from repro.graphs.operations import disjoint_union
+from repro.kernels import ESTIMATOR_BACKENDS, resolve_estimator_backend
+from repro.kernels.estimator import (
+    DENSITY_OVERHEAD_FACTOR,
+    SIGMA2_QUALITY_FACTOR,
+    estimator_perturbation,
+    rayleigh_bound,
+)
+from repro.obs import enable_metrics, get_metrics
+from repro.sparsify import SimilarityAwareSparsifier, sparsify_graph
+
+from tests.property.test_property_trees import connected_graphs
+
+#: Structural regimes: structured (grids, circuit), scale-free,
+#: disconnected (routes through shards), and degenerate shapes.
+CORPUS = {
+    "grid": lambda: generators.grid2d(20, 20, weights="uniform", seed=3),
+    "weighted_grid": lambda: generators.grid2d(
+        14, 14, weights="lognormal", seed=9
+    ),
+    "fem": lambda: generators.fem_mesh_2d(150, seed=4),
+    "scale_free": lambda: generators.barabasi_albert(200, 4, seed=1),
+    "circuit": lambda: generators.circuit_grid(12, 12, seed=2),
+    "disconnected": lambda: disjoint_union(
+        generators.grid2d(9, 9, weights="uniform", seed=0),
+        generators.barabasi_albert(60, 3, seed=5),
+    ),
+    "single_edge": lambda: Graph(2, [0], [1], [1.5]),
+    "path": lambda: generators.path_graph(30),  # empty off-tree set
+}
+
+
+def _assert_quality(ref, pert, sigma2):
+    """The four contract clauses, shared by corpus and property runs."""
+    if ref.converged:
+        assert pert.converged, "perturbation must certify when reference does"
+    if pert.converged and not math.isnan(pert.sigma2_estimate):
+        assert pert.sigma2_estimate <= sigma2 * (1 + 1e-12)
+    r, p = ref.sigma2_estimate, pert.sigma2_estimate
+    if ref.converged and pert.converged and r > 0 and p > 0:
+        assert p <= r * SIGMA2_QUALITY_FACTOR, (
+            f"certified sigma2 {p:.3f} looser than the one-sided "
+            f"{SIGMA2_QUALITY_FACTOR}x band over reference {r:.3f}"
+        )
+    assert (
+        pert.sparsifier.num_edges
+        <= ref.sparsifier.num_edges * DENSITY_OVERHEAD_FACTOR
+    ), "skip-round over-densification exceeded the declared overhead"
+
+
+class TestQualityContract:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_corpus(self, name, seed):
+        g = CORPUS[name]()
+        sigma2 = 30.0
+        ref = sparsify_graph(
+            g, sigma2=sigma2, seed=seed, estimator_backend="reference"
+        )
+        pert = sparsify_graph(
+            g, sigma2=sigma2, seed=seed, estimator_backend="perturbation"
+        )
+        _assert_quality(ref, pert, sigma2)
+        # Upper-bound tracking never loosens the sparsifier: skip
+        # rounds only densify more aggressively.
+        assert pert.sparsifier.num_edges >= ref.tree_indices.size
+
+    @given(
+        connected_graphs(max_n=16),
+        st.integers(min_value=0, max_value=10**4),
+        st.sampled_from([20.0, 60.0]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_property_random_graphs(self, graph, seed, sigma2):
+        ref = sparsify_graph(
+            graph, sigma2=sigma2, seed=seed, estimator_backend="reference"
+        )
+        pert = sparsify_graph(
+            graph, sigma2=sigma2, seed=seed, estimator_backend="perturbation"
+        )
+        _assert_quality(ref, pert, sigma2)
+
+    def test_refresh_one_never_skips(self):
+        """``estimator_refresh=1`` disables skip rounds entirely; the
+        run still certifies the target."""
+        g = CORPUS["grid"]()
+        pert = sparsify_graph(
+            g, sigma2=30.0, seed=3, estimator_backend="perturbation",
+            estimator_refresh=1,
+        )
+        assert pert.converged
+        assert pert.sigma2_estimate <= 30.0
+
+
+class TestBracketMechanics:
+    """Direct unit pins of the perturbation backend's skip/confirm
+    schedule, independent of full pipeline runs."""
+
+    @pytest.fixture
+    def state(self):
+        from repro.sparsify import SparsifierState
+        from repro.trees import low_stretch_tree
+
+        g = generators.grid2d(8, 8, weights="uniform", seed=0)
+        return SparsifierState(g, low_stretch_tree(g, seed=0))
+
+    def test_first_round_pays_full_accuracy(self, state):
+        cache = {}
+        value, solves = estimator_perturbation(
+            state, rng=np.random.default_rng(0), power_iterations=5,
+            lambda_min=1.0, sigma2=1e-9, probes=None, cache=cache,
+        )
+        assert solves == 5
+        assert cache["lambda_max"] == value
+        assert cache["rounds_since_confirm"] == 0
+        assert cache["anchor"].shape[0] == state.laplacian.shape[0]
+
+    def test_skip_round_returns_cached_upper_for_free(self, state):
+        cache = {}
+        value, _ = estimator_perturbation(
+            state, rng=np.random.default_rng(0), power_iterations=5,
+            lambda_min=1e-9, sigma2=1.0, probes=None, cache=cache,
+        )
+        skipped, solves = estimator_perturbation(
+            state, rng=np.random.default_rng(1), power_iterations=5,
+            lambda_min=1e-9, sigma2=1.0, probes=None, cache=cache,
+        )
+        assert solves == 0
+        assert skipped == value
+        assert cache["rounds_since_confirm"] == 1
+        assert cache["lower_bound"] <= value * (1 + 1e-12)
+
+    def test_scheduled_confirm_is_truncated(self, state):
+        cache = {}
+        estimator_perturbation(
+            state, rng=np.random.default_rng(0), power_iterations=5,
+            lambda_min=1e-9, sigma2=1.0, probes=None, cache=cache,
+            refresh=2,
+        )
+        estimator_perturbation(
+            state, rng=np.random.default_rng(1), power_iterations=5,
+            lambda_min=1e-9, sigma2=1.0, probes=None, cache=cache,
+            refresh=2,
+        )
+        _, solves = estimator_perturbation(
+            state, rng=np.random.default_rng(2), power_iterations=5,
+            lambda_min=1e-9, sigma2=1.0, probes=None, cache=cache,
+            refresh=2,
+        )
+        assert solves == 3  # min(3, power_iterations), not the full 5
+        assert cache["rounds_since_confirm"] == 0
+
+    def test_certification_confirm_is_full_accuracy(self, state):
+        cache = {}
+        value, _ = estimator_perturbation(
+            state, rng=np.random.default_rng(0), power_iterations=5,
+            lambda_min=1.0, sigma2=1.0, probes=None, cache=cache,
+        )
+        # A line at/above the tracked upper bound forces a full confirm
+        # (only full-accuracy confirmations may certify convergence).
+        _, solves = estimator_perturbation(
+            state, rng=np.random.default_rng(1), power_iterations=5,
+            lambda_min=1.0, sigma2=2.0 * value, probes=None, cache=cache,
+        )
+        assert solves == 5
+
+
+def _total_solves() -> float:
+    values = get_metrics().snapshot().get(
+        "repro_solver_solves_total", {}
+    ).get("values", {})
+    return float(sum(values.values()))
+
+
+class TestSolveCut:
+    def test_perturbation_spends_fewer_solves(self):
+        enable_metrics()
+        g = generators.grid2d(40, 40, weights="uniform", seed=1)
+        counts = {}
+        for backend in ("reference", "perturbation"):
+            before = _total_solves()
+            result = sparsify_graph(
+                g, sigma2=30.0, seed=7, estimator_backend=backend,
+                kernel_backend="vectorized",
+            )
+            counts[backend] = _total_solves() - before
+            assert result.converged
+        assert counts["reference"] > 0
+        assert counts["perturbation"] < counts["reference"]
+
+    def test_counter_labels_callers(self):
+        import json
+
+        enable_metrics()
+        g = generators.grid2d(12, 12, weights="uniform", seed=1)
+        sparsify_graph(g, sigma2=40.0, seed=0)
+        values = get_metrics().snapshot()["repro_solver_solves_total"]["values"]
+        callers = {json.loads(key)[1] for key in values}
+        assert {"estimate", "embedding"} <= callers
+
+
+class TestBackendSurface:
+    def test_estimator_backend_family(self):
+        assert ESTIMATOR_BACKENDS == ("reference", "perturbation")
+        assert resolve_estimator_backend("auto") == "perturbation"
+        assert resolve_estimator_backend("reference") == "reference"
+        assert resolve_estimator_backend("perturbation") == "perturbation"
+        with pytest.raises(ValueError, match="unknown estimator backend"):
+            resolve_estimator_backend("grass")
+
+    def test_sparsifier_rejects_unknown_estimator(self):
+        with pytest.raises(ValueError, match="unknown estimator backend"):
+            SimilarityAwareSparsifier(estimator_backend="fortran")
+
+    def test_cli_exposes_estimator_flag(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sparsify", "in.mtx", "-o", "out.mtx",
+             "--estimator-backend", "perturbation"]
+        )
+        assert args.estimator_backend == "perturbation"
+        args = parser.parse_args(
+            ["stream", "events.jsonl", "--graph", "g.mtx",
+             "--estimator-backend", "auto"]
+        )
+        assert args.estimator_backend == "auto"
+
+
+class TestRayleighBound:
+    def test_bound_never_exceeds_true_extreme(self):
+        g = generators.grid2d(8, 8, weights="uniform", seed=0)
+        from repro.sparsify import SparsifierState
+        from repro.trees import low_stretch_tree
+
+        idx = low_stretch_tree(g, seed=0)
+        state = SparsifierState(g, idx)
+        rng = np.random.default_rng(3)
+        block = rng.standard_normal((g.n, 4))
+        block -= block.mean(axis=0)
+        bound = rayleigh_bound(
+            state.host_laplacian, state.laplacian, (block,)
+        )
+        from repro.spectral import generalized_power_iteration
+
+        true = generalized_power_iteration(
+            state.host_laplacian, state.laplacian, state.solver(),
+            iterations=40, seed=5,
+        )
+        assert bound <= true * (1 + 1e-6)
+
+    def test_skips_none_and_degenerate_blocks(self):
+        g = generators.path_graph(4)
+        from repro.sparsify import SparsifierState
+
+        state = SparsifierState(g, np.arange(3))
+        out = rayleigh_bound(
+            state.host_laplacian, state.laplacian,
+            (None, np.zeros(4)),
+        )
+        assert out == float("-inf")

@@ -147,6 +147,38 @@ class TestStreamingParity:
         restored = load_dynamic(tmp_path / "ckpt")
         assert restored.kernel_backend == "reference"
 
+    def test_old_checkpoint_defaults_estimator_to_reference(self, tmp_path):
+        """Checkpoints written before the estimator kernel existed
+        restore onto the solve-backed path they actually ran."""
+        import json
+
+        from repro.stream import load_dynamic, save_dynamic
+
+        g = generators.grid2d(6, 6, weights="uniform", seed=1)
+        dyn = DynamicSparsifier(g, sigma2=50.0, seed=2)
+        _, json_path = save_dynamic(tmp_path / "ckpt", dyn)
+        meta = json.loads(json_path.read_text(encoding="utf-8"))
+        del meta["config"]["estimator_backend"]
+        del meta["config"]["estimator_refresh"]
+        json_path.write_text(json.dumps(meta), encoding="utf-8")
+        restored = load_dynamic(tmp_path / "ckpt")
+        assert restored.estimator_backend == "reference"
+        assert restored.estimator_refresh == 3
+
+    def test_checkpoint_round_trips_estimator_backend(self, tmp_path):
+        from repro.stream import load_dynamic, save_dynamic
+
+        g = generators.grid2d(8, 8, weights="uniform", seed=1)
+        dyn = DynamicSparsifier(
+            g, sigma2=50.0, seed=2, estimator_backend="perturbation",
+            estimator_refresh=5,
+        )
+        save_dynamic(tmp_path / "ckpt", dyn)
+        restored = load_dynamic(tmp_path / "ckpt")
+        assert restored.estimator_backend == "perturbation"
+        assert restored.estimator_refresh == 5
+        assert np.array_equal(restored.edge_mask, dyn.edge_mask)
+
 
 class TestKernelLevelFuzz:
     """Direct differential fuzz of the rewritten inner loops."""

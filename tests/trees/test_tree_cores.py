@@ -1,0 +1,163 @@
+"""Differential tests of the nopython-subset tree cores.
+
+The Borůvka union core and the Tarjan LCA core are authored in the
+numba ``nopython`` subset and JIT-compiled where numba is installed;
+representative ids and LCA answers feed directly into tree identity,
+so the contract is bit-identity with the pure-Python references
+(:class:`repro.trees.spanning.DisjointSet`,
+:class:`repro.trees.BinaryLiftingLCA`), not merely equivalent
+partitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.trees import (
+    BinaryLiftingLCA,
+    RootedTree,
+    akpw,
+    edge_stretches,
+    low_stretch_tree,
+    total_stretch,
+)
+from repro.trees.lsst import _boruvka_round, boruvka_union_core
+from repro.trees.spanning import DisjointSet
+from repro.trees.tarjan_lca import tarjan_lca_core
+
+
+def _disjoint_set_union(k, cu, cv, chosen):
+    """The DisjointSet sequence the core must replicate exactly."""
+    dsu = DisjointSet(k)
+    added = np.zeros(chosen.size, dtype=bool)
+    for i, e in enumerate(chosen):
+        added[i] = dsu.union(int(cu[e]), int(cv[e]))
+    labels = np.array([dsu.find(v) for v in range(k)], dtype=np.int64)
+    return labels, added
+
+
+class TestBoruvkaUnionCore:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [2, 7, 40, 200])
+    def test_matches_disjoint_set_reference(self, seed, k):
+        rng = np.random.default_rng(seed)
+        m = 3 * k
+        cu = rng.integers(0, k, size=m).astype(np.int64)
+        cv = rng.integers(0, k, size=m).astype(np.int64)
+        chosen = rng.permutation(m)[: 2 * k].astype(np.int64)
+        labels, added = boruvka_union_core(k, cu, cv, chosen)
+        ref_labels, ref_added = _disjoint_set_union(k, cu, cv, chosen)
+        # Bit-identical representative ids, not just the same partition.
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(added, ref_added)
+
+    def test_self_loops_never_added(self):
+        cu = np.array([0, 1, 2], dtype=np.int64)
+        cv = np.array([0, 1, 2], dtype=np.int64)
+        labels, added = boruvka_union_core(3, cu, cv, np.arange(3))
+        assert not added.any()
+        assert np.array_equal(labels, np.arange(3))
+
+    def test_empty_chosen(self):
+        labels, added = boruvka_union_core(
+            4,
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+        assert np.array_equal(labels, np.arange(4))
+        assert added.size == 0
+
+    def test_boruvka_round_equals_legacy_loop(self):
+        rng = np.random.default_rng(11)
+        k = 60
+        m = 150
+        cu = rng.integers(0, k, size=m).astype(np.int64)
+        cv = rng.integers(0, k, size=m).astype(np.int64)
+        lengths = rng.random(m)
+        orig = rng.permutation(1000)[:m].astype(np.int64)
+        labels, added = _boruvka_round(k, cu, cv, lengths, orig)
+        spy_calls = []
+
+        def spy_core(k_, cu_, cv_, chosen_):
+            spy_calls.append(chosen_.copy())
+            return _disjoint_set_union(k_, cu_, cv_, chosen_)
+
+        ref_labels, ref_added = _boruvka_round(
+            k, cu, cv, lengths, orig, boruvka_core=spy_core
+        )
+        assert spy_calls, "hook must be exercised"
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(added, ref_added)
+
+    def test_akpw_accepts_core_hook(self):
+        g = generators.fem_mesh_2d(120, seed=3)
+        base = akpw(g, seed=7)
+        hooked = akpw(g, seed=7, boruvka_core=boruvka_union_core)
+        assert np.array_equal(base, hooked)
+        routed = low_stretch_tree(
+            g, method="akpw", seed=7, boruvka_core=boruvka_union_core
+        )
+        assert np.array_equal(base, routed)
+
+
+class TestTarjanCore:
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_core_matches_binary_lifting(self, seed):
+        g = generators.grid2d(9, 9, weights="uniform", seed=seed)
+        idx = low_stretch_tree(g, seed=seed)
+        tree = RootedTree.from_graph(g, idx, root=0)
+        rng = np.random.default_rng(seed)
+        us = rng.integers(0, tree.n, size=300).astype(np.int64)
+        vs = rng.integers(0, tree.n, size=300).astype(np.int64)
+        got = tarjan_lca_core(
+            np.asarray(tree.parent, dtype=np.int64), int(tree.root), us, vs
+        )
+        assert np.array_equal(got, BinaryLiftingLCA(tree).query(us, vs))
+
+    def test_zero_queries(self):
+        g = generators.path_graph(5)
+        tree = RootedTree.from_graph(g, np.arange(4), root=0)
+        out = tarjan_lca_core(
+            np.asarray(tree.parent, dtype=np.int64),
+            0,
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+        assert out.size == 0
+
+
+class TestStretchMethods:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            generators.grid2d(12, 12, weights="uniform", seed=2),
+            generators.grid2d(10, 10, weights="lognormal", seed=4),
+            generators.fem_mesh_2d(200, seed=8),
+            generators.circuit_grid(9, 9, seed=6),
+        ],
+        ids=["grid", "weighted-grid", "fem", "circuit"],
+    )
+    def test_tarjan_bit_identical_to_lifting(self, graph):
+        idx = low_stretch_tree(graph, seed=1)
+        lifting = edge_stretches(graph, idx, method="lifting")
+        tarjan = edge_stretches(graph, idx, method="tarjan")
+        assert np.array_equal(lifting.stretches, tarjan.stretches)
+        assert np.array_equal(lifting.tree_mask, tarjan.tree_mask)
+        assert total_stretch(graph, idx, method="tarjan") == lifting.total
+
+    def test_no_off_tree_edges(self):
+        g = generators.path_graph(9)
+        report = edge_stretches(g, np.arange(8), method="tarjan")
+        assert np.array_equal(report.stretches, np.ones(8))
+
+    @pytest.mark.parametrize("has_off_tree", [True, False])
+    def test_unknown_method_rejected(self, has_off_tree):
+        g = (
+            generators.grid2d(4, 4, weights="uniform", seed=0)
+            if has_off_tree
+            else generators.path_graph(5)
+        )
+        idx = low_stretch_tree(g, seed=0)
+        with pytest.raises(ValueError, match="unknown stretch method"):
+            edge_stretches(g, idx, method="euler")
